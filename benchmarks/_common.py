@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Results are
+printed (visible with ``pytest -s``) and appended to
+``bench_results/<name>.txt`` so the EXPERIMENTS.md comparison can be
+re-derived at any time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def emit(name: str, lines: Sequence[str]) -> None:
+    """Print a result block and persist it under bench_results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===")
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload) -> None:
+    """Persist machine-readable results alongside the text block."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float))
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:
+    """Plain-text table formatting."""
+    headers = [str(h) for h in headers]
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return out
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def heatmap(matrix, labels=None) -> List[str]:
+    """Render a small matrix as an aligned text heatmap."""
+    import numpy as np
+
+    matrix = np.asarray(matrix)
+    n = matrix.shape[0]
+    labels = labels or [str(i) for i in range(n)]
+    lines = ["      " + "  ".join(f"{l:>6}" for l in labels)]
+    for i in range(n):
+        row = "  ".join(f"{matrix[i, j]:6.3f}" for j in range(n))
+        lines.append(f"{labels[i]:>5} {row}")
+    return lines

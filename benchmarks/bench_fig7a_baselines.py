@@ -1,0 +1,131 @@
+"""Fig. 7(a) — ACME vs lightweight ViT baselines on CIFAR-100 (stand-in).
+
+The paper deploys ACME's best model under a 25M-parameter storage
+constraint and compares accuracy/size against Efficient-ViT, MobileViT,
+Twins-SVT and the DeViT family.  Here the constraint is the equivalent slot
+in our scaled-down geometry.  Shape target: ACME's Pareto-selected model
+reaches the best accuracy at a comparable (or smaller) parameter count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _common import emit, emit_json, table
+from repro.core.nas import HeaderSearch, NASConfig
+from repro.core.pareto import Candidate, build_pfg, select_model
+from repro.core.segmentation import clone_model
+from repro.hw.energy import energy
+from repro.hw.profiles import DeviceProfile
+from repro.models import BASELINE_BUILDERS, build_baseline
+from repro.train import TrainConfig, evaluate_header, evaluate_model, train_header, train_model
+
+STORAGE_LIMIT = 30_000  # the scaled "25M" deployment slot
+
+
+def build_acme_model(backbone_result, train_data, test_data, seed=0):
+    """Run ACME's per-cluster pipeline: PFG selection + NAS header."""
+    backbone = backbone_result.backbone
+    config = backbone.config
+    profile = DeviceProfile.synthesize(0, 5, STORAGE_LIMIT, np.random.default_rng(seed))
+
+    # Cloud-side candidate evaluation (loss on public data, Eq. 10).
+    candidates = []
+    for width in (0.25, 0.5, 0.75, 1.0):
+        for depth in range(1, config.depth + 1):
+            probe = clone_model(backbone)
+            probe.scale(width, depth)
+            loss = evaluate_model(probe, train_data, max_batches=2)["loss"]
+            joules = energy(profile, width, depth, epochs=5).energy_joules
+            candidates.append(Candidate(width, depth, (loss, joules, config.zeta(width, depth))))
+    # The deployment slot holds backbone + header; ACME sizes the backbone
+    # against ~2/3 of it and prunes the header into the remainder
+    # (Phase 2-2's importance pruning).
+    backbone_budget = STORAGE_LIMIT * 0.65
+    chosen = select_model(build_pfg(candidates, 0.05), backbone_budget)
+
+    deployed = clone_model(backbone)
+    deployed.scale(chosen.width, chosen.depth)
+
+    search = HeaderSearch(
+        deployed,
+        train_data.num_classes,
+        NASConfig(
+            num_blocks=2,
+            search_epochs=2,
+            children_per_epoch=3,
+            shared_steps_per_child=3,
+            controller_updates_per_epoch=3,
+            derive_samples=4,
+            train_backbone=False,
+            seed=seed,
+        ),
+    )
+    result = search.search(train_data)
+    header = search.materialize_header(result.spec, seed=seed)
+    train_header(deployed, header, train_data, TrainConfig(epochs=3, seed=seed))
+    # Phase 2-1 does not freeze the backbone (§III-C); finish with a short
+    # unfrozen fine-tune as in the paper's training protocol.
+    train_header(deployed, header, train_data, TrainConfig(epochs=2, seed=seed),
+                 freeze_backbone=False)
+
+    # Prune the header into the remaining storage budget by importance
+    # (Eqs. 16-18), then fine-tune the surviving parameters.
+    header_budget = STORAGE_LIMIT - chosen.size
+    if header.parameter_count() > header_budget:
+        from repro.core.header_importance import (
+            ImportanceConfig,
+            compute_importance_set,
+            prune_by_importance,
+        )
+
+        importance = compute_importance_set(
+            deployed, header, train_data,
+            ImportanceConfig(max_batches_per_epoch=4, seed=seed), train=False,
+        )
+        keep_fraction = max(0.05, min(1.0, header_budget / header.parameter_count()))
+        prune_by_importance(header, importance, keep_fraction)
+        train_header(deployed, header, train_data, TrainConfig(epochs=2, seed=seed))
+
+    metrics = evaluate_header(deployed, header, test_data)
+    size = chosen.size + header.active_parameter_count()
+    return {"name": "ACME (ours)", "accuracy": metrics["accuracy"], "params": size,
+            "width": chosen.width, "depth": chosen.depth}
+
+
+def run_fig7a(backbone_result, train_data, test_data):
+    rows = [build_acme_model(backbone_result, train_data, test_data)]
+    for key in sorted(BASELINE_BUILDERS):
+        model = build_baseline(key, num_classes=train_data.num_classes)
+        train_model(model, train_data, TrainConfig(epochs=5, seed=0))
+        metrics = evaluate_model(model, test_data)
+        rows.append(
+            {"name": model.name, "accuracy": metrics["accuracy"],
+             "params": model.num_parameters()}
+        )
+    return rows
+
+
+def test_fig7a_baselines(benchmark, dynamic_backbone, train_data, test_data):
+    rows = benchmark.pedantic(
+        run_fig7a, args=(dynamic_backbone, train_data, test_data), rounds=1, iterations=1
+    )
+    lines = table(
+        ["model", "accuracy", "params"],
+        [[r["name"], r["accuracy"], r["params"]] for r in rows],
+    )
+    acme = rows[0]
+    best_baseline = max(rows[1:], key=lambda r: r["accuracy"])
+    gain = acme["accuracy"] - best_baseline["accuracy"]
+    lines.append(
+        f"ACME vs best baseline ({best_baseline['name']}): "
+        f"{gain * 100:+.2f}% accuracy (paper: ≈ +10% over baselines)"
+    )
+    emit("fig7a_baselines", lines)
+    emit_json("fig7a_baselines", rows)
+
+    # Shape: ACME is at least competitive with every baseline while staying
+    # inside the storage slot.
+    assert acme["params"] < STORAGE_LIMIT * 1.2
+    assert acme["accuracy"] >= best_baseline["accuracy"] - 0.02

@@ -1,0 +1,50 @@
+"""Full-system demo: the bidirectional single-loop protocol end-to-end.
+
+Builds a small cloud / edge / device hierarchy, runs all of ACME's phases
+through the byte-accounted network, and prints per-cluster assignments,
+per-device accuracies, and the traffic ledger against the centralized
+baseline.
+
+Run:  python examples/full_system_demo.py
+"""
+
+from repro.distributed import ACMEConfig, ACMESystem
+
+
+def main() -> None:
+    config = ACMEConfig(
+        num_clusters=2,
+        devices_per_cluster=3,
+        num_classes=8,
+        samples_per_class=80,
+        public_samples_per_class=30,
+        seed=0,
+    )
+    print("building the three-tier system (1 cloud, 2 edges, 6 devices) ...")
+    system = ACMESystem(config)
+
+    print("running: backbone generation → PFG assignment → header NAS → "
+          "personalized aggregation → fine-tune ...")
+    result = system.run()
+
+    print("\nper-cluster outcomes:")
+    for cluster in result.clusters:
+        accs = ", ".join(f"{a:.3f}" for a in cluster.device_accuracies)
+        print(f"  {cluster.edge_name}: backbone (w={cluster.width}, "
+              f"d={cluster.depth}); device accuracies [{accs}]")
+    print(f"fleet mean accuracy: {result.mean_accuracy:.3f}")
+
+    print("\ntraffic ledger:")
+    for kind, nbytes in sorted(result.traffic.by_kind.items()):
+        print(f"  {kind:>20}: {nbytes / 1e6:8.3f} MB")
+    print(f"  {'total upload':>20}: {result.traffic.upload_megabytes():8.3f} MB")
+
+    cs = system.run_centralized_baseline()
+    print(f"\ncentralized baseline upload: {cs.upload_megabytes():.3f} MB")
+    print(f"ACME upload / centralized upload: "
+          f"{result.traffic.upload_bytes / cs.upload_bytes:.1%} "
+          "(the paper reports ≈6% at testbed scale)")
+
+
+if __name__ == "__main__":
+    main()

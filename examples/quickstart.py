@@ -1,0 +1,79 @@
+"""Quickstart: customize a Vision Transformer for a constrained device.
+
+Walks the core ACME loop on one device in under a minute:
+
+1. generate a synthetic workload and pretrain the reference model θ0;
+2. score heads/neurons with Taylor importance and distill a dynamic
+   backbone;
+3. pick (width, depth) under a storage constraint with the Pareto Front
+   Grid;
+4. attach and train a task header, then evaluate.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.distill import DistillConfig
+from repro.core.pareto import Candidate, build_pfg, select_model
+from repro.core.segmentation import clone_model, generate_backbone
+from repro.data import make_cifar100_like
+from repro.hw.energy import energy
+from repro.hw.profiles import DeviceProfile
+from repro.models import ViTConfig, VisionTransformer, build_fixed_header
+from repro.train import TrainConfig, evaluate_header, evaluate_model, train_header, train_model
+
+STORAGE_LIMIT = 30_000  # the device can hold at most this many parameters
+
+
+def main() -> None:
+    # 1. Data + reference model --------------------------------------
+    generator = make_cifar100_like(num_classes=8, image_size=16)
+    train_data = generator.generate(samples_per_class=30, seed=1)
+    test_data = generator.generate(samples_per_class=10, seed=2)
+
+    config = ViTConfig(num_classes=8, embed_dim=32, depth=6, num_heads=4)
+    reference = VisionTransformer(config, seed=0)
+    print("pretraining the reference model θ0 ...")
+    report = train_model(reference, train_data, TrainConfig(epochs=4, seed=0))
+    print(f"  reference accuracy: {report.final_accuracy:.3f}")
+
+    # 2. Backbone generation (importance + distillation) -------------
+    print("generating the width/depth-dynamic backbone ...")
+    result = generate_backbone(
+        reference, train_data, distill_config=DistillConfig(epochs=1, seed=0)
+    )
+    backbone = result.backbone
+
+    # 3. Pareto-Front-Grid selection under the storage constraint ----
+    device = DeviceProfile.synthesize(0, vcpus=5, storage_limit=STORAGE_LIMIT,
+                                      rng=np.random.default_rng(0))
+    candidates = []
+    for width in (0.25, 0.5, 0.75, 1.0):
+        for depth in range(1, config.depth + 1):
+            probe = clone_model(backbone)
+            probe.scale(width, depth)
+            loss = evaluate_model(probe, test_data, max_batches=2)["loss"]
+            joules = energy(device, width, depth, epochs=5).energy_joules
+            candidates.append(
+                Candidate(width, depth, (loss, joules, config.zeta(width, depth)))
+            )
+    chosen = select_model(build_pfg(candidates, performance_window=0.2),
+                          storage_limit=STORAGE_LIMIT * 0.7)
+    print(f"  selected (w={chosen.width}, d={chosen.depth}) "
+          f"with ζ={chosen.size:.0f} params, energy={chosen.energy:.1f} J")
+
+    # 4. Header + final evaluation ------------------------------------
+    deployed = clone_model(backbone)
+    deployed.scale(chosen.width, chosen.depth)
+    header = build_fixed_header("hybrid", config.embed_dim, config.num_patches,
+                                config.num_classes)
+    train_header(deployed, header, train_data, TrainConfig(epochs=3, seed=0))
+    metrics = evaluate_header(deployed, header, test_data)
+    total = chosen.size + header.num_parameters()
+    print(f"deployed model: accuracy={metrics['accuracy']:.3f}, "
+          f"total params={total:.0f} (limit {STORAGE_LIMIT})")
+
+
+if __name__ == "__main__":
+    main()

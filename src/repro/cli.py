@@ -1,0 +1,130 @@
+"""Command-line interface for running ACME experiments.
+
+Usage::
+
+    python -m repro.cli run --clusters 2 --devices 3 --classes 8
+    python -m repro.cli table1 --fleet 10
+    python -m repro.cli search-space --blocks 3
+
+The CLI is a thin veneer over :mod:`repro.distributed` and
+:mod:`repro.core`; anything it prints can be computed programmatically
+through the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.distributed import ACMEConfig, ACMESystem
+
+    config = ACMEConfig(
+        num_clusters=args.clusters,
+        devices_per_cluster=args.devices,
+        num_classes=args.classes,
+        samples_per_class=args.samples,
+        seed=args.seed,
+    )
+    system = ACMESystem(config)
+    result = system.run()
+    payload = {
+        "mean_accuracy": result.mean_accuracy,
+        "upload_mb": result.traffic.upload_megabytes(),
+        "total_mb": result.traffic.total_megabytes(),
+        "upload_ratio_vs_centralized": result.upload_ratio_vs_centralized,
+        "clusters": [
+            {
+                "edge": c.edge_name,
+                "width": c.width,
+                "depth": c.depth,
+                "device_accuracies": c.device_accuracies,
+            }
+            for c in result.clusters
+        ],
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.search_space import table1_search_space_row
+
+    row = table1_search_space_row(args.fleet, devices_per_cluster=args.devices)
+    print(json.dumps(row, indent=2))
+    return 0
+
+
+def _cmd_search_space(args: argparse.Namespace) -> int:
+    from repro.core.search_space import header_search_space_size
+
+    size = header_search_space_size(args.blocks)
+    print(json.dumps({"blocks": args.blocks, "architectures": size}))
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.hw.energy import energy
+    from repro.hw.profiles import DeviceProfile
+
+    profile = DeviceProfile.synthesize(
+        0, args.vcpus, storage_limit=10**9, rng=np.random.default_rng(args.seed)
+    )
+    report = energy(profile, args.width, args.depth, epochs=args.epochs)
+    print(
+        json.dumps(
+            {
+                "power_watts": report.power_watts,
+                "latency_seconds": report.latency_seconds,
+                "energy_joules": report.energy_joules,
+            }
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the full ACME system")
+    run.add_argument("--clusters", type=int, default=2)
+    run.add_argument("--devices", type=int, default=3)
+    run.add_argument("--classes", type=int, default=8)
+    run.add_argument("--samples", type=int, default=48)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    table1 = sub.add_parser("table1", help="Table I search-space accounting")
+    table1.add_argument("--fleet", type=int, default=10)
+    table1.add_argument("--devices", type=int, default=5)
+    table1.set_defaults(func=_cmd_table1)
+
+    space = sub.add_parser("search-space", help="Eq. (14) cardinality")
+    space.add_argument("--blocks", type=int, default=3)
+    space.set_defaults(func=_cmd_search_space)
+
+    energy_cmd = sub.add_parser("energy", help="Eq. (1)-(2) energy estimate")
+    energy_cmd.add_argument("--vcpus", type=int, default=5)
+    energy_cmd.add_argument("--width", type=float, default=1.0)
+    energy_cmd.add_argument("--depth", type=int, default=6)
+    energy_cmd.add_argument("--epochs", type=int, default=5)
+    energy_cmd.add_argument("--seed", type=int, default=0)
+    energy_cmd.set_defaults(func=_cmd_energy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Personalized architecture aggregation (Eqs. 19-21, Algorithm 2).
+
+The edge-device single loop of Phase 2-2: every round, each device
+computes its importance set ``Q_n`` on local data; the edge server forms
+each device's personalized set as the similarity-weighted convex
+combination
+
+.. math:: Q'_n = \\sum_{i∈N_s} ŵ_{n,i} Q_i
+
+and devices prune their headers by ``Q'_n``.  Four aggregation variants
+reproduce the Fig. 11 comparison:
+
+* ``alone``  — no collaboration: ``Q'_n = Q_n``;
+* ``average``— uniform weights (FedAvg-style);
+* ``js``     — weights from Jensen-Shannon similarity;
+* ``ours``   — weights from Wasserstein similarity (ACME).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.header_importance import (
+    ImportanceConfig,
+    compute_importance_set,
+    prune_by_importance,
+)
+from repro.core.similarity import build_similarity_matrix
+from repro.data.dataset import ArrayDataset
+from repro.models.header_dag import DAGHeader
+from repro.models.vit import VisionTransformer
+
+AGGREGATION_METHODS = ("alone", "average", "js", "ours")
+
+
+def aggregation_weights(
+    method: str,
+    num_devices: int,
+    backbone: Optional[VisionTransformer] = None,
+    datasets: Optional[Sequence[ArrayDataset]] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Row-stochastic weight matrix Ŵ for one aggregation method."""
+    if method not in AGGREGATION_METHODS:
+        raise ValueError(f"unknown method {method!r}; options: {AGGREGATION_METHODS}")
+    if method == "alone":
+        return np.eye(num_devices)
+    if method == "average":
+        return np.full((num_devices, num_devices), 1.0 / num_devices)
+    if backbone is None or datasets is None:
+        raise ValueError(f"method {method!r} needs a backbone and device datasets")
+    metric = "wasserstein" if method == "ours" else "js"
+    return build_similarity_matrix(backbone, list(datasets), metric=metric, seed=seed)
+
+
+def aggregate_importance_sets(
+    importance_sets: Sequence[np.ndarray], weights: np.ndarray
+) -> List[np.ndarray]:
+    """Eq. (21): personalized sets ``Q'_n = Σ_i ŵ_{n,i} Q_i``."""
+    sets = [np.asarray(q, dtype=np.float64) for q in importance_sets]
+    n = len(sets)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (n, n):
+        raise ValueError(f"weights shape {weights.shape} != ({n}, {n})")
+    if not np.allclose(weights.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("weight rows must sum to 1 (convex combination)")
+    length = sets[0].size
+    if any(q.size != length for q in sets):
+        raise ValueError("importance sets must share a length to aggregate")
+    stacked = np.stack(sets)  # (n, R)
+    return [weights[i] @ stacked for i in range(n)]
+
+
+@dataclass
+class AggregationRoundRecord:
+    """Telemetry of one Algorithm 2 round."""
+
+    round_index: int
+    uploaded_bytes: int
+    downloaded_bytes: int
+    active_fractions: List[float] = field(default_factory=list)
+
+
+@dataclass
+class AggregationResult:
+    """Output of the Algorithm 2 loop."""
+
+    headers: List[DAGHeader]
+    weights: np.ndarray
+    rounds: List[AggregationRoundRecord] = field(default_factory=list)
+
+    @property
+    def total_upload_bytes(self) -> int:
+        return sum(r.uploaded_bytes for r in self.rounds)
+
+
+def personalized_architecture_aggregation(
+    backbone: VisionTransformer,
+    headers: Sequence[DAGHeader],
+    datasets: Sequence[ArrayDataset],
+    num_rounds: int = 2,
+    keep_fraction: float = 0.7,
+    method: str = "ours",
+    importance_config: Optional[ImportanceConfig] = None,
+    seed: int = 0,
+) -> AggregationResult:
+    """Algorithm 2: generate fine headers for one device cluster.
+
+    Parameters
+    ----------
+    backbone:
+        The cluster's customized backbone (used frozen on devices).
+    headers:
+        One coarse header per device (modified in place).
+    datasets:
+        Each device's local private dataset.
+    num_rounds:
+        ``T`` — single-loop iterations between edge and devices.
+    keep_fraction:
+        Fraction of prunable header parameters each round keeps.  Fractions
+        compose across rounds through re-masking from the pristine copy, so
+        the mask can both shrink and recover as importance estimates evolve.
+    method:
+        One of :data:`AGGREGATION_METHODS`.
+    """
+    if len(headers) != len(datasets):
+        raise ValueError("need exactly one dataset per header")
+    if num_rounds < 1:
+        raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+
+    n = len(headers)
+    # Algorithm 2 line 2: the similarity matrix is computed once, up front.
+    weights = aggregation_weights(method, n, backbone, datasets, seed=seed)
+    result = AggregationResult(headers=list(headers), weights=weights)
+
+    for t in range(num_rounds):
+        importance_sets = []
+        upload = 0
+        for header, dataset in zip(headers, datasets):
+            config = importance_config or ImportanceConfig(seed=seed + t)
+            q = compute_importance_set(backbone, header, dataset, config=config)
+            importance_sets.append(q)
+            upload += q.nbytes  # devices upload Q_n (line 6)
+
+        personalized = aggregate_importance_sets(importance_sets, weights)
+        download = sum(q.nbytes for q in personalized)  # edge sends Q'_n (line 9)
+
+        fractions = []
+        for header, q_prime in zip(headers, personalized):
+            prune_by_importance(header, q_prime, keep_fraction)
+            fractions.append(
+                header.active_parameter_count() / header.parameter_count()
+            )
+        result.rounds.append(
+            AggregationRoundRecord(
+                round_index=t,
+                uploaded_bytes=upload,
+                downloaded_bytes=download,
+                active_fractions=fractions,
+            )
+        )
+    return result

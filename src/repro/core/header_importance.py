@@ -1,0 +1,153 @@
+"""Device-side importance sets for header parameters (Eqs. 16-18).
+
+Each device receives the coarse header from its edge server, trains it
+briefly on local data with the backbone frozen, and quantifies every header
+parameter by the first-order Taylor estimate of the error its removal
+would introduce:
+
+.. math:: Q^{(1)}_{n,r} = (g_{n,r} · υ^H_{n,r})²,\\qquad g_{n,r} = ∂L_n/∂υ^H_{n,r}
+
+Importances are accumulated over mini-batches (the paper computes them
+"every minibatch", Fig. 6a) and averaged, producing the importance set
+``Q_n`` uploaded to the edge server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.importance import header_parameter_importance
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.header_dag import DAGHeader
+from repro.models.headers import BackboneFeatures
+from repro.models.vit import VisionTransformer
+from repro.nn import functional as F
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class ImportanceConfig:
+    """Local-training hyperparameters for importance estimation."""
+
+    epochs: int = 1
+    batch_size: int = 16
+    lr: float = 1e-3
+    max_batches_per_epoch: int = 8
+    seed: int = 0
+
+
+def compute_importance_set(
+    backbone: VisionTransformer,
+    header: DAGHeader,
+    dataset: ArrayDataset,
+    config: Optional[ImportanceConfig] = None,
+    train: bool = True,
+) -> np.ndarray:
+    """Train the header locally and return its importance set ``Q_n``.
+
+    The backbone is used frozen (features detached), matching §III-D:
+    "freezing the backbone architecture and its parameters, training the
+    header using local private dataset, and generating an importance set".
+
+    Parameters
+    ----------
+    train:
+        When False, skips optimizer updates and only accumulates
+        importances (useful for re-scoring an already-trained header).
+
+    Returns
+    -------
+    numpy.ndarray
+        Flat array with one importance per header parameter, aligned with
+        ``header.parameter_vector()``.
+    """
+    config = config or ImportanceConfig()
+    rng = np.random.default_rng(config.seed)
+    params = header.parameters()
+    optimizer = Adam(params, lr=config.lr) if train else None
+
+    accumulated = np.zeros(header.parameter_count())
+    batches_seen = 0
+
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+    for _epoch in range(config.epochs):
+        for batch_idx, (images, labels) in enumerate(loader):
+            if batch_idx >= config.max_batches_per_epoch:
+                break
+            cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+            features = BackboneFeatures(cls.detach(), tokens.detach(), penult.detach())
+            logits = header(features)
+            loss = F.cross_entropy(logits, labels)
+            header.zero_grad()
+            loss.backward()
+
+            # Eq. (17)-(18): per-parameter (g · υ)², accumulated per batch.
+            grads = np.concatenate(
+                [
+                    (p.grad if p.grad is not None else np.zeros_like(p.data)).reshape(-1)
+                    for p in params
+                ]
+            )
+            values = np.concatenate([p.data.reshape(-1) for p in params])
+            accumulated += header_parameter_importance(grads, values)
+            batches_seen += 1
+
+            if optimizer is not None:
+                optimizer.step()
+                header.reapply_mask()
+
+    if batches_seen == 0:
+        raise ValueError("dataset produced no batches for importance estimation")
+    return accumulated / batches_seen
+
+
+def prune_by_importance(
+    header: DAGHeader,
+    importance: np.ndarray,
+    keep_fraction: float,
+    protect_classifier: bool = True,
+) -> np.ndarray:
+    """Discard the least-important header parameters (Algorithm 2 line 11).
+
+    Parameters
+    ----------
+    keep_fraction:
+        Fraction of prunable parameters to keep (by descending importance).
+    protect_classifier:
+        Keep the classifier sub-module intact: pruning the final projection
+        rows would disconnect output classes entirely.
+
+    Returns
+    -------
+    numpy.ndarray
+        The boolean keep-mask that was applied.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    importance = np.asarray(importance, dtype=np.float64)
+    if importance.shape != (header.parameter_count(),):
+        raise ValueError(
+            f"importance length {importance.shape} != parameter count "
+            f"{header.parameter_count()}"
+        )
+
+    protected = np.zeros_like(importance, dtype=bool)
+    if protect_classifier:
+        offset = 0
+        for name, p in header._unique_named_parameters():
+            if name.startswith("classifier"):
+                protected[offset : offset + p.size] = True
+            offset += p.size
+
+    prunable = np.flatnonzero(~protected)
+    keep_count = int(round(keep_fraction * prunable.size))
+    keep = protected.copy()
+    if keep_count > 0:
+        order = prunable[np.argsort(-importance[prunable], kind="stable")]
+        keep[order[:keep_count]] = True
+    header.set_parameter_mask(keep)
+    return keep

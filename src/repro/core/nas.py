@@ -1,0 +1,291 @@
+"""First-stage header customization: ENAS-style search (§III-C).
+
+The edge server searches for a coarse header matching its backbone:
+
+* a **shared-parameter pool** holds one instance of every candidate
+  operation per (block, slot) position; all sampled child headers reuse
+  these weights (Pham et al.'s parameter sharing, Eq. 15's ω_s);
+* the **controller** (:mod:`repro.core.controller`) samples architectures;
+* the search alternates between optimizing ω_s on the shared dataset with
+  sampled children (Monte-Carlo estimate of Eq. 15) and updating the
+  controller with REINFORCE using validation accuracy as reward and a
+  moving-average baseline.
+
+Per the paper the backbone is *not* frozen at this stage; freezing it is
+available as a fast path (features are then cached across steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.controller import (
+    ArchitectureController,
+    MovingAverageBaseline,
+    SampledArchitecture,
+)
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.blocks import OPERATION_NAMES, build_operation, num_operations
+from repro.models.header_dag import DAGHeader
+from repro.models.headers import BackboneFeatures
+from repro.models.vit import VisionTransformer
+from repro.nn import functional as F
+from repro.nn.layers import Activation, Linear, Module, Sequential
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+class SharedOpPool:
+    """One lazily-built operation instance per (block, slot, op) position.
+
+    Children constructed through :meth:`factory` share these modules, so
+    training any child trains the pool — the ω_s of Eq. (15).
+    """
+
+    def __init__(self, channels: int, seed: int = 0) -> None:
+        self.channels = channels
+        self._rng = np.random.default_rng(seed)
+        self._ops: Dict[Tuple[int, int, int], Module] = {}
+
+    def factory(self, block: int, slot: int, op_index: int) -> Module:
+        key = (block, slot, op_index)
+        if key not in self._ops:
+            self._ops[key] = build_operation(
+                OPERATION_NAMES[op_index], self.channels, self._rng
+            )
+        return self._ops[key]
+
+    def parameters(self):
+        seen = set()
+        params = []
+        for op in self._ops.values():
+            for p in op.parameters():
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+
+@dataclass
+class NASConfig:
+    """Hyperparameters of the first-stage search."""
+
+    num_blocks: int = 3  # B
+    repeats: int = 1  # U
+    search_epochs: int = 3
+    children_per_epoch: int = 4  # M in the Monte-Carlo gradient (Eq. 15)
+    shared_steps_per_child: int = 2
+    batch_size: int = 16
+    shared_lr: float = 2e-3
+    controller_lr: float = 5e-3
+    controller_updates_per_epoch: int = 4
+    derive_samples: int = 8
+    val_fraction: float = 0.3
+    train_backbone: bool = True  # paper: backbone NOT frozen in stage 2-1
+    grad_clip: float = 5.0
+    seed: int = 0
+
+
+@dataclass
+class SearchResult:
+    """Everything the search produces."""
+
+    spec: "HeaderSpec"
+    reward_history: List[float] = field(default_factory=list)
+    best_reward: float = 0.0
+
+
+from repro.models.blocks import HeaderSpec  # noqa: E402  (dataclass forward ref)
+
+
+class HeaderSearch:
+    """Runs Phase 2-1 for one edge server."""
+
+    def __init__(
+        self,
+        backbone: VisionTransformer,
+        num_classes: int,
+        config: Optional[NASConfig] = None,
+    ) -> None:
+        self.backbone = backbone
+        self.num_classes = num_classes
+        self.config = config or NASConfig()
+        cfg = self.config
+        self.rng = np.random.default_rng(cfg.seed)
+        embed_dim = backbone.config.embed_dim
+        self.pool = SharedOpPool(embed_dim, seed=cfg.seed)
+        self.controller = ArchitectureController(
+            num_blocks=cfg.num_blocks, repeats=cfg.repeats, seed=cfg.seed
+        )
+        # Shared classifier: part of ω_s, reused by every child.
+        rng = np.random.default_rng(cfg.seed + 1)
+        self.classifier = Sequential(
+            Linear(2 * embed_dim, embed_dim, rng=rng),
+            Activation("gelu"),
+            Linear(embed_dim, num_classes, rng=rng),
+        )
+        self._controller_opt = Adam(self.controller.parameters(), lr=cfg.controller_lr)
+        self._baseline = MovingAverageBaseline()
+        self._feature_cache: Dict[object, BackboneFeatures] = {}
+
+    # ------------------------------------------------------------------
+    def build_child(self, spec: HeaderSpec) -> DAGHeader:
+        """Instantiate a child header wired to the shared pool."""
+        return DAGHeader(
+            self.backbone.config.embed_dim,
+            self.backbone.config.num_patches,
+            self.num_classes,
+            spec,
+            op_factory=self.pool.factory,
+            classifier=self.classifier,
+        )
+
+    def _features(self, images: np.ndarray, key=None) -> BackboneFeatures:
+        """Backbone features; cached when the backbone is frozen."""
+        if not self.config.train_backbone and key is not None:
+            cached = self._feature_cache.get(key)
+            if cached is not None:
+                return cached
+        cls, tokens, penult = self.backbone.forward_features_multi(Tensor(images))
+        if not self.config.train_backbone:
+            cls, tokens, penult = cls.detach(), tokens.detach(), penult.detach()
+        features = BackboneFeatures(cls, tokens, penult)
+        if not self.config.train_backbone and key is not None:
+            self._feature_cache[key] = features
+        return features
+
+    def _shared_parameters(self, child: DAGHeader):
+        params = self.pool.parameters() + self.classifier.parameters()
+        if self.config.train_backbone:
+            params = params + self.backbone.parameters()
+        # Child-local params are exactly pool+classifier here, but dedupe
+        # defensively in case specs ever add private modules.
+        seen = {id(p) for p in params}
+        for p in child.parameters():
+            if id(p) not in seen:
+                params.append(p)
+                seen.add(id(p))
+        return params
+
+    def _train_shared(self, child: DAGHeader, loader: DataLoader) -> None:
+        cfg = self.config
+        optimizer = Adam(self._shared_parameters(child), lr=cfg.shared_lr)
+        steps = 0
+        for images, labels in loader:
+            if steps >= cfg.shared_steps_per_child:
+                break
+            # No cache key: the loader shuffles, so batch indices are not
+            # stable identities for caching.
+            features = self._features(images)
+            logits = child(features)
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.params, cfg.grad_clip)
+            optimizer.step()
+            steps += 1
+
+    def evaluate(self, spec: HeaderSpec, dataset: ArrayDataset, max_batches: int = 4) -> float:
+        """Validation accuracy of a spec under the shared weights."""
+        child = self.build_child(spec)
+        loader = DataLoader(
+            dataset,
+            batch_size=self.config.batch_size,
+            shuffle=False,
+            rng=np.random.default_rng(0),
+        )
+        correct, total = 0, 0
+        for batch_idx, (images, labels) in enumerate(loader):
+            if batch_idx >= max_batches:
+                break
+            features = self._features(images, key=(id(dataset), batch_idx))
+            logits = child(features)
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += labels.shape[0]
+        return correct / max(1, total)
+
+    def _update_controller(self, val_set: ArrayDataset) -> float:
+        """One REINFORCE update; returns the mean reward of its samples."""
+        cfg = self.config
+        rewards = []
+        losses = None
+        for _ in range(cfg.controller_updates_per_epoch):
+            sample = self.controller.sample(self.rng)
+            reward = self.evaluate(sample.spec, val_set)
+            baseline = self._baseline.update(reward)
+            advantage = reward - baseline
+            term = sample.log_prob * (-advantage)
+            losses = term if losses is None else losses + term
+            rewards.append(reward)
+        assert losses is not None
+        self._controller_opt.zero_grad()
+        losses.backward()
+        clip_grad_norm(self.controller.parameters(), cfg.grad_clip)
+        self._controller_opt.step()
+        return float(np.mean(rewards))
+
+    def search(self, dataset: ArrayDataset) -> SearchResult:
+        """Run the alternating ENAS loop and derive the best header spec."""
+        cfg = self.config
+        train_set, val_set = dataset.split(1.0 - cfg.val_fraction, self.rng)
+        result = SearchResult(spec=HeaderSpec.from_sequence([0, 0, 0, 0]))
+
+        for _epoch in range(cfg.search_epochs):
+            # Step 1: optimize shared parameters ω_s with sampled children.
+            for _ in range(cfg.children_per_epoch):
+                sample = self.controller.sample(self.rng)
+                child = self.build_child(sample.spec)
+                loader = DataLoader(
+                    train_set,
+                    batch_size=cfg.batch_size,
+                    shuffle=True,
+                    rng=self.rng,
+                )
+                self._train_shared(child, loader)
+            # Step 2: update the controller policy θ_LSTM.
+            mean_reward = self._update_controller(val_set)
+            result.reward_history.append(mean_reward)
+
+        # Derivation: sample candidates, keep the best on validation.
+        best_spec, best_reward = None, -1.0
+        for _ in range(cfg.derive_samples):
+            sample = self.controller.sample(self.rng)
+            reward = self.evaluate(sample.spec, val_set)
+            if reward > best_reward:
+                best_spec, best_reward = sample.spec, reward
+        greedy = self.controller.sample(self.rng, greedy=True)
+        greedy_reward = self.evaluate(greedy.spec, val_set)
+        if greedy_reward > best_reward:
+            best_spec, best_reward = greedy.spec, greedy_reward
+
+        assert best_spec is not None
+        result.spec = best_spec
+        result.best_reward = best_reward
+        return result
+
+    def materialize_header(self, spec: HeaderSpec, seed: int = 0) -> DAGHeader:
+        """Fresh (non-shared) header with weights copied from the pool.
+
+        This is the coarse header θH_s distributed to devices: a standalone
+        module whose operations start from the shared-pool weights.
+        """
+        header = DAGHeader(
+            self.backbone.config.embed_dim,
+            self.backbone.config.num_patches,
+            self.num_classes,
+            spec,
+            rng=np.random.default_rng(seed),
+        )
+        # Copy shared weights where architecture positions match.
+        for module in header.modules_list:
+            for b, block in enumerate(module.blocks):
+                for slot, op in ((0, block.op1), (1, block.op2)):
+                    op_idx = block.spec.op1 if slot == 0 else block.spec.op2
+                    key = (b, slot, op_idx)
+                    if key in self.pool._ops:
+                        op.load_state_dict(self.pool._ops[key].state_dict())
+        header.classifier.load_state_dict(self.classifier.state_dict())
+        return header

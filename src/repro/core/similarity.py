@@ -1,0 +1,169 @@
+"""Data-distribution similarity between devices (Eqs. 19-20, Fig. 10).
+
+The edge server compares devices by the distributions of *features* a
+pre-trained model extracts from small samples of their local data:
+
+* **Wasserstein** (ours) — the p-Wasserstein distance with an L1 ground
+  metric, estimated by the sliced method: average the exact 1-D Wasserstein
+  distance over random projections.  (For 1-D inputs this is exact.)
+* **Jensen-Shannon** (baseline) — JS divergence between per-dimension
+  feature histograms.
+
+From raw pairwise distances ``w̃_ij`` the similarity matrix is built as
+``w_ij = 1 / (1 + w̃_ij)`` (Eq. 19), then regularized by symmetrization
+``W̄ = sqrt(W·Wᵀ)`` (elementwise) and row-softmax normalization (Eq. 20).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy.stats import wasserstein_distance
+
+from repro.data.dataset import ArrayDataset
+from repro.models.vit import VisionTransformer
+from repro.nn.tensor import Tensor
+
+
+def extract_features(
+    model: VisionTransformer, dataset: ArrayDataset, max_samples: int = 64, seed: int = 0
+) -> np.ndarray:
+    """CLS-token features of a small random sample (the P(D̃) of Eq. 19)."""
+    rng = np.random.default_rng(seed)
+    sample = dataset.sample(max_samples, rng)
+    cls, _tokens = model.forward_features(Tensor(sample.images))
+    return cls.data
+
+
+def sliced_wasserstein(
+    a: np.ndarray,
+    b: np.ndarray,
+    num_projections: int = 32,
+    p: int = 1,
+    seed: int = 0,
+) -> float:
+    """Sliced p-Wasserstein distance between feature clouds ``a`` and ``b``.
+
+    Projects both clouds onto shared random unit directions and averages the
+    exact 1-D Wasserstein distance; the L1 ground metric of the paper
+    corresponds to ``p=1``.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"feature dims differ: {a.shape[1]} vs {b.shape[1]}")
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    rng = np.random.default_rng(seed)
+    dims = a.shape[1]
+    total = 0.0
+    for _ in range(num_projections):
+        direction = rng.normal(size=dims)
+        direction /= np.linalg.norm(direction) + 1e-12
+        pa = a @ direction
+        pb = b @ direction
+        if p == 1:
+            total += wasserstein_distance(pa, pb)
+        else:
+            # General p: quantile-function formulation of 1-D OT.
+            qs = np.linspace(0.0, 1.0, 101)
+            qa = np.quantile(pa, qs)
+            qb = np.quantile(pb, qs)
+            total += float(np.mean(np.abs(qa - qb) ** p) ** (1.0 / p))
+    return total / num_projections
+
+
+def js_divergence(a: np.ndarray, b: np.ndarray, bins: int = 16) -> float:
+    """Jensen-Shannon divergence between per-dimension feature histograms."""
+    a = np.atleast_2d(np.asarray(a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(b, dtype=np.float64))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(f"feature dims differ: {a.shape[1]} vs {b.shape[1]}")
+    total = 0.0
+    for dim in range(a.shape[1]):
+        lo = min(a[:, dim].min(), b[:, dim].min())
+        hi = max(a[:, dim].max(), b[:, dim].max())
+        if hi <= lo:
+            continue
+        edges = np.linspace(lo, hi, bins + 1)
+        pa, _ = np.histogram(a[:, dim], bins=edges)
+        pb, _ = np.histogram(b[:, dim], bins=edges)
+        pa = pa / max(1, pa.sum()) + 1e-12
+        pb = pb / max(1, pb.sum()) + 1e-12
+        m = 0.5 * (pa + pb)
+        total += 0.5 * float((pa * np.log(pa / m)).sum() + (pb * np.log(pb / m)).sum())
+    return total / a.shape[1]
+
+
+def distance_matrix(
+    feature_sets: Sequence[np.ndarray],
+    metric: str = "wasserstein",
+    seed: int = 0,
+) -> np.ndarray:
+    """Pairwise distances ``w̃_ij`` under the chosen metric."""
+    n = len(feature_sets)
+    if n < 2:
+        raise ValueError("need at least two devices to compare")
+    out = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if metric == "wasserstein":
+                d = sliced_wasserstein(feature_sets[i], feature_sets[j], seed=seed)
+            elif metric == "js":
+                d = js_divergence(feature_sets[i], feature_sets[j])
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+            out[i, j] = out[j, i] = d
+    return out
+
+
+def similarity_from_distances(distances: np.ndarray) -> np.ndarray:
+    """Eq. (19): ``w_ij = 1 / (1 + w̃_ij)``; diagonal similarity is 1."""
+    distances = np.asarray(distances, dtype=np.float64)
+    if (distances < 0).any():
+        raise ValueError("distances must be non-negative")
+    return 1.0 / (1.0 + distances)
+
+
+def regularize_similarity(similarity: np.ndarray, temperature: float = 1.0) -> np.ndarray:
+    """Eq. (20): symmetrize by ``sqrt(W·Wᵀ)`` then row-softmax normalize.
+
+    ``temperature`` scales the logits before the softmax.  At 1.0 this is
+    Eq. (20) verbatim; smaller values sharpen the weights.  The paper's
+    feature spreads are O(1) so the plain exponential discriminates well;
+    this reproduction's scaled-down features have smaller spreads, so the
+    aggregation path uses a sub-unit temperature to recover the same
+    contrast (documented in DESIGN.md).
+    """
+    w = np.asarray(similarity, dtype=np.float64)
+    if w.ndim != 2 or w.shape[0] != w.shape[1]:
+        raise ValueError(f"similarity must be square, got shape {w.shape}")
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    symmetric = np.sqrt(np.maximum(w @ w.T, 0.0)) / temperature
+    exp = np.exp(symmetric - symmetric.max(axis=1, keepdims=True))
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def build_similarity_matrix(
+    model: VisionTransformer,
+    datasets: Sequence[ArrayDataset],
+    metric: str = "wasserstein",
+    max_samples: int = 64,
+    seed: int = 0,
+    temperature: float = 0.05,
+) -> np.ndarray:
+    """End-to-end Eq. (19)+(20): Ŵ_s from device datasets.
+
+    Returns the row-stochastic matrix used as aggregation weights in
+    Eq. (21).  See :func:`regularize_similarity` for the temperature.
+    """
+    features = [
+        extract_features(model, d, max_samples=max_samples, seed=seed + i)
+        for i, d in enumerate(datasets)
+    ]
+    distances = distance_matrix(features, metric=metric, seed=seed)
+    return regularize_similarity(
+        similarity_from_distances(distances), temperature=temperature
+    )

@@ -1,0 +1,42 @@
+"""The bidirectional single-loop distributed system (cloud/edge/device)."""
+
+from repro.distributed.cloud import CloudConfig, CloudServer
+from repro.distributed.device import DeviceNode
+from repro.distributed.edge import EdgeConfig, EdgeServer
+from repro.distributed.messages import Message, MessageKind, payload_nbytes
+from repro.distributed.metrics import (
+    NormalizedTradeoff,
+    centralized_upload_bytes,
+    energy_efficiency_ratio,
+    relative_upload,
+    size_efficiency_ratio,
+)
+from repro.distributed.network import Network, TrafficStats
+from repro.distributed.system import (
+    ACMEConfig,
+    ACMERunResult,
+    ACMESystem,
+    ClusterResult,
+)
+
+__all__ = [
+    "ACMEConfig",
+    "ACMERunResult",
+    "ACMESystem",
+    "CloudConfig",
+    "CloudServer",
+    "ClusterResult",
+    "DeviceNode",
+    "EdgeConfig",
+    "EdgeServer",
+    "Message",
+    "MessageKind",
+    "Network",
+    "NormalizedTradeoff",
+    "TrafficStats",
+    "centralized_upload_bytes",
+    "energy_efficiency_ratio",
+    "payload_nbytes",
+    "relative_upload",
+    "size_efficiency_ratio",
+]

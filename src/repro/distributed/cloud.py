@@ -1,0 +1,191 @@
+"""Cloud server node: backbone generation and Phase 1 customization.
+
+The cloud holds the reference model θ0 and the generalized public dataset
+D̃_c.  On startup it performs backbone generation (§III-B1): Taylor
+importance scoring plus width/depth distillation, yielding the dynamic
+backbone θB.  For each edge server's uploaded cluster statistics it
+evaluates the (w, d) candidate grid on (loss, energy, ζ), builds the
+Pareto Front Grid, and assigns the Eq. (13) selection to the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distill import DistillConfig
+from repro.core.pareto import Candidate, ParetoFrontGrid, build_pfg, select_model
+from repro.core.segmentation import generate_backbone
+from repro.data.dataset import ArrayDataset
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.hw.energy import energy
+from repro.hw.profiles import DeviceProfile
+from repro.models.vit import VisionTransformer
+from repro.train.evaluate import evaluate_model
+from repro.train.trainer import TrainConfig, train_model
+
+
+@dataclass
+class CloudConfig:
+    """Knobs of the cloud-side Phase 1."""
+
+    width_choices: Sequence[float] = (0.25, 0.5, 0.75, 1.0)
+    depth_choices: Optional[Sequence[int]] = None  # default 1..reference depth
+    performance_window: float = 0.05  # γ_p
+    pretrain_epochs: int = 3
+    distill: DistillConfig = None  # type: ignore[assignment]
+    eval_samples: int = 128
+    energy_epochs: int = 5  # k in Eq. (1)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.distill is None:
+            self.distill = DistillConfig(epochs=1, seed=self.seed)
+
+
+class CloudServer:
+    """The cloud node ``C``."""
+
+    def __init__(
+        self,
+        reference: VisionTransformer,
+        public_dataset: ArrayDataset,
+        network: Network,
+        config: Optional[CloudConfig] = None,
+        name: str = "cloud",
+    ) -> None:
+        self.reference = reference
+        self.public_dataset = public_dataset
+        self.network = network
+        self.config = config or CloudConfig()
+        self.name = name
+        self.backbone: Optional[VisionTransformer] = None
+        self.head_orders: Optional[List[np.ndarray]] = None
+        self.neuron_orders: Optional[List[np.ndarray]] = None
+        self._loss_cache: Dict[Tuple[float, int], float] = {}
+        self.assignments: Dict[str, Candidate] = {}
+        network.register(name, self.handle)
+
+    # ------------------------------------------------------------------
+    # Phase 1 setup
+    # ------------------------------------------------------------------
+    def pretrain_reference(self) -> None:
+        """Train θ0 on the public dataset D̃_c (the model zoo step)."""
+        train_model(
+            self.reference,
+            self.public_dataset,
+            TrainConfig(epochs=self.config.pretrain_epochs, seed=self.config.seed),
+        )
+
+    def generate_dynamic_backbone(self) -> None:
+        """Backbone generation (§III-B1): importance + distillation."""
+        result = generate_backbone(
+            self.reference,
+            self.public_dataset,
+            distill_config=self.config.distill,
+            seed=self.config.seed,
+        )
+        self.backbone = result.backbone
+        self.head_orders = result.importance.head_orders()
+        self.neuron_orders = result.importance.neuron_orders()
+        self._loss_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+    def _candidate_loss(self, width: float, depth: int) -> float:
+        """L_s(˜θ_s, D̃_c): public-set loss of the (w, d) sub-backbone."""
+        assert self.backbone is not None, "generate_dynamic_backbone() first"
+        key = (width, depth)
+        if key not in self._loss_cache:
+            self.backbone.scale(width, depth)
+            sample = self.public_dataset.sample(
+                self.config.eval_samples, np.random.default_rng(self.config.seed)
+            )
+            metrics = evaluate_model(self.backbone, sample)
+            self._loss_cache[key] = metrics["loss"]
+        return self._loss_cache[key]
+
+    def _representative_profile(self, stats: dict) -> DeviceProfile:
+        """Worst-case device profile reconstructed from cluster statistics.
+
+        Eq. (10) uses the maximum energy within the cluster as the
+        representative metric, so the profile is assembled from the
+        cluster's maxima.
+        """
+        return DeviceProfile(
+            device_id=-1,
+            gpu_capacity=stats["mean_gpu_capacity"],
+            storage_limit=int(stats["min_storage"]),
+            num_patches=int(stats["num_patches"]),
+            batch_size=int(stats["batch_size"]),
+            base_power=stats["max_base_power"],
+            power_per_layer=stats["max_power_per_layer"],
+            base_latency=stats["max_base_latency"],
+            latency_per_layer=stats["max_latency_per_layer"],
+        )
+
+    def evaluate_candidates(self, stats: dict) -> List[Candidate]:
+        """The (w, d) grid with objective vectors (loss, energy, ζ)."""
+        assert self.backbone is not None
+        cfg = self.config
+        depth_choices = (
+            list(cfg.depth_choices)
+            if cfg.depth_choices is not None
+            else list(range(1, self.backbone.config.depth + 1))
+        )
+        profile = self._representative_profile(stats)
+        candidates = []
+        for width in cfg.width_choices:
+            for depth in depth_choices:
+                loss = self._candidate_loss(width, depth)
+                joules = energy(profile, width, depth, epochs=cfg.energy_epochs).energy_joules
+                size = self.backbone.config.zeta(width, depth)
+                candidates.append(Candidate(width, depth, (loss, joules, size)))
+        # Restore full configuration after the sweep.
+        self.backbone.scale(1.0, self.backbone.config.depth)
+        return candidates
+
+    def customize_for_cluster(self, stats: dict) -> Candidate:
+        """Algorithm 1 lines 5-18 for one cluster."""
+        candidates = self.evaluate_candidates(stats)
+        pfg = build_pfg(candidates, self.config.performance_window)
+        return select_model(pfg, storage_limit=stats["min_storage"])
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Optional[Message]:
+        if message.kind is MessageKind.CLUSTER_STATS:
+            return self._assign_backbone(message)
+        if message.kind is MessageKind.DATASET_UPLOAD:
+            # Centralized baseline: the cloud just absorbs the data.
+            return Message(self.name, message.sender, MessageKind.ACK)
+        raise ValueError(f"{self.name} cannot handle {message.kind}")
+
+    def _assign_backbone(self, message: Message) -> None:
+        assert self.backbone is not None and self.head_orders is not None
+        stats = message.payload["stats"]
+        chosen = self.customize_for_cluster(stats)
+        self.assignments[message.sender] = chosen
+        reply = Message(
+            self.name,
+            message.sender,
+            MessageKind.BACKBONE_ASSIGNMENT,
+            {
+                "vit_config": self.backbone.config,
+                "backbone_state": self.backbone.state_dict(),
+                "head_orders": self.head_orders,
+                "neuron_orders": self.neuron_orders,
+                "width": chosen.width,
+                "depth": chosen.depth,
+                "objectives": list(chosen.objectives),
+            },
+        )
+        # The assignment travels cloud → edge over the network (downlink),
+        # so it is sent explicitly and its bytes are accounted.
+        self.network.send(reply)
+        return None

@@ -1,0 +1,143 @@
+"""Device node: the leaves of the hierarchy.
+
+A device owns its private dataset and profile.  It receives the customized
+(backbone, coarse header) from its edge server, then participates in the
+Phase 2-2 single loop: train the header locally with the backbone frozen,
+compute an importance set (Eqs. 16-18), upload it, and prune the header by
+the personalized set the edge sends back.  Local data never leaves the
+device — only importance sets and a tiny feature sample for similarity
+estimation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.header_importance import (
+    ImportanceConfig,
+    compute_importance_set,
+    prune_by_importance,
+)
+from repro.core.similarity import extract_features
+from repro.data.dataset import ArrayDataset
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.hw.profiles import DeviceProfile
+from repro.models.blocks import HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.models.vit import VisionTransformer, ViTConfig
+from repro.train.evaluate import evaluate_header
+from repro.train.trainer import TrainConfig, train_header
+
+
+class DeviceNode:
+    """One device ``n`` with tuple ``(G_n, C_n, θ_n)`` and private data."""
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        dataset: ArrayDataset,
+        network: Network,
+        test_dataset: Optional[ArrayDataset] = None,
+        importance_config: Optional[ImportanceConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.dataset = dataset
+        self.test_dataset = test_dataset
+        self.network = network
+        self.name = f"device{profile.device_id}"
+        self.seed = seed
+        self.importance_config = importance_config or ImportanceConfig(seed=seed)
+        self.backbone: Optional[VisionTransformer] = None
+        self.header: Optional[DAGHeader] = None
+        self.keep_fraction: float = 0.7
+        network.register(self.name, self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Optional[Message]:
+        if message.kind is MessageKind.MODEL_DISTRIBUTION:
+            return self._receive_model(message)
+        if message.kind is MessageKind.PERSONALIZED_SET:
+            return self._receive_personalized_set(message)
+        raise ValueError(f"{self.name} cannot handle {message.kind}")
+
+    def _receive_model(self, message: Message) -> Message:
+        """Install the distributed backbone + coarse header."""
+        config: ViTConfig = message.payload["vit_config"]
+        self.backbone = VisionTransformer(config, seed=0)
+        self.backbone.load_state_dict(message.payload["backbone_state"])
+        self.backbone.set_importance_orders(
+            head_orders=message.payload["head_orders"],
+            neuron_orders=message.payload["neuron_orders"],
+        )
+        self.backbone.scale(message.payload["width"], message.payload["depth"])
+        spec: HeaderSpec = message.payload["header_spec"]
+        self.header = DAGHeader(
+            config.embed_dim,
+            config.num_patches,
+            config.num_classes,
+            spec,
+            rng=np.random.default_rng(self.seed),
+        )
+        self.header.load_state_dict(message.payload["header_state"])
+        self.keep_fraction = float(message.payload.get("keep_fraction", 0.7))
+        return Message(self.name, message.sender, MessageKind.ACK)
+
+    def _receive_personalized_set(self, message: Message) -> Message:
+        """Algorithm 2 line 11: prune the header by the aggregated set Q'_n."""
+        assert self.header is not None, "model must be distributed first"
+        q_prime = message.payload["importance"]
+        prune_by_importance(self.header, q_prime, self.keep_fraction)
+        return Message(self.name, message.sender, MessageKind.ACK)
+
+    # ------------------------------------------------------------------
+    def importance_round(self, include_feature_sample: bool = False) -> Message:
+        """Run a local importance round and build the upload message.
+
+        The caller (edge server) transmits the returned message through the
+        network so the bytes are accounted on the uplink.
+        """
+        assert self.backbone is not None and self.header is not None
+        q = compute_importance_set(
+            self.backbone, self.header, self.dataset, config=self.importance_config
+        )
+        # Wire format: importance sets travel as float32 (like any practical
+        # serialization); local computation stays float64.
+        payload = {
+            "importance": q.astype(np.float32),
+            "device_id": self.profile.device_id,
+        }
+        if include_feature_sample:
+            payload["feature_sample"] = extract_features(
+                self.backbone, self.dataset, max_samples=16, seed=self.seed
+            ).astype(np.float32)
+        return Message(self.name, "", MessageKind.IMPORTANCE_SET, payload)
+
+    def finetune(self, config: Optional[TrainConfig] = None) -> None:
+        """Final local header training (backbone frozen, mask enforced)."""
+        assert self.backbone is not None and self.header is not None
+        train_header(
+            self.backbone,
+            self.header,
+            self.dataset,
+            config=config or TrainConfig(epochs=2, seed=self.seed),
+            freeze_backbone=True,
+        )
+
+    def evaluate(self) -> dict:
+        """Accuracy of θ_n = (θH_n, θB_n) on held-out (or train) data."""
+        assert self.backbone is not None and self.header is not None
+        dataset = self.test_dataset if self.test_dataset is not None else self.dataset
+        return evaluate_header(self.backbone, self.header, dataset)
+
+    def dataset_upload_message(self, cloud_name: str) -> Message:
+        """The centralized-system baseline: ship the raw local dataset."""
+        return Message(
+            self.name,
+            cloud_name,
+            MessageKind.DATASET_UPLOAD,
+            {"dataset": self.dataset, "device_id": self.profile.device_id},
+        )

@@ -1,0 +1,206 @@
+"""Edge server node: the middle tier running both customization stages.
+
+An edge server ``s`` manages a device cluster N_s and a shared dataset
+(10-20% of the cluster's data, per §IV-A).  Its protocol role:
+
+* **Phase 1** — upload cluster statistics, receive the assigned backbone.
+* **Phase 2-1** — run the ENAS header search on the shared dataset and
+  distribute (backbone, coarse header) to every device.
+* **Phase 2-2** — drive the single loop of Algorithm 2: collect device
+  importance sets, compute the Wasserstein similarity matrix from the
+  devices' feature samples, aggregate (Eq. 21), and redistribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import aggregate_importance_sets
+from repro.core.nas import HeaderSearch, NASConfig
+from repro.core.similarity import (
+    distance_matrix,
+    regularize_similarity,
+    similarity_from_distances,
+)
+from repro.data.dataset import ArrayDataset
+from repro.distributed.device import DeviceNode
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.hw.profiles import cluster_statistics
+from repro.models.blocks import HeaderSpec
+from repro.models.vit import VisionTransformer, ViTConfig
+
+
+@dataclass
+class EdgeConfig:
+    """Edge-side knobs."""
+
+    nas: NASConfig = None  # type: ignore[assignment]
+    aggregation_rounds: int = 2  # T in Algorithm 2
+    keep_fraction: float = 0.7
+    similarity_metric: str = "wasserstein"  # "wasserstein" (ours) or "js"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nas is None:
+            self.nas = NASConfig(seed=self.seed)
+
+
+class EdgeServer:
+    """One edge server ``s_s`` and its device cluster."""
+
+    def __init__(
+        self,
+        index: int,
+        devices: Sequence[DeviceNode],
+        shared_dataset: ArrayDataset,
+        network: Network,
+        config: Optional[EdgeConfig] = None,
+        cloud_name: str = "cloud",
+    ) -> None:
+        self.index = index
+        self.devices = list(devices)
+        self.shared_dataset = shared_dataset
+        self.network = network
+        self.config = config or EdgeConfig()
+        self.cloud_name = cloud_name
+        self.name = f"edge{index}"
+        self.backbone: Optional[VisionTransformer] = None
+        self.assigned_width: Optional[float] = None
+        self.assigned_depth: Optional[int] = None
+        self.header_spec: Optional[HeaderSpec] = None
+        self.search: Optional[HeaderSearch] = None
+        self.similarity: Optional[np.ndarray] = None
+        self._pending_importance: Dict[int, np.ndarray] = {}
+        self._feature_samples: Dict[int, np.ndarray] = {}
+        network.register(self.name, self.handle)
+
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> Optional[Message]:
+        if message.kind is MessageKind.BACKBONE_ASSIGNMENT:
+            return self._receive_backbone(message)
+        if message.kind is MessageKind.IMPORTANCE_SET:
+            return self._receive_importance(message)
+        raise ValueError(f"{self.name} cannot handle {message.kind}")
+
+    def _receive_backbone(self, message: Message) -> None:
+        config: ViTConfig = message.payload["vit_config"]
+        self.backbone = VisionTransformer(config, seed=0)
+        self.backbone.load_state_dict(message.payload["backbone_state"])
+        self.backbone.set_importance_orders(
+            head_orders=message.payload["head_orders"],
+            neuron_orders=message.payload["neuron_orders"],
+        )
+        self.assigned_width = float(message.payload["width"])
+        self.assigned_depth = int(message.payload["depth"])
+        self.backbone.scale(self.assigned_width, self.assigned_depth)
+        return None
+
+    def _receive_importance(self, message: Message) -> None:
+        device_id = int(message.payload["device_id"])
+        self._pending_importance[device_id] = message.payload["importance"]
+        if "feature_sample" in message.payload:
+            self._feature_samples[device_id] = message.payload["feature_sample"]
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase 1: cloud ↔ edge
+    # ------------------------------------------------------------------
+    def request_backbone(self) -> None:
+        """Upload cluster statistics; the cloud replies with a backbone."""
+        stats = cluster_statistics([d.profile for d in self.devices])
+        self.network.send(
+            Message(self.name, self.cloud_name, MessageKind.CLUSTER_STATS, {"stats": stats})
+        )
+        if self.backbone is None:
+            raise RuntimeError("cloud did not assign a backbone")
+
+    # ------------------------------------------------------------------
+    # Phase 2-1: header search + distribution
+    # ------------------------------------------------------------------
+    def search_header(self) -> HeaderSpec:
+        """ENAS search for the coarse header on the shared dataset."""
+        assert self.backbone is not None, "request_backbone() first"
+        num_classes = self.shared_dataset.num_classes
+        self.search = HeaderSearch(self.backbone, num_classes, self.config.nas)
+        result = self.search.search(self.shared_dataset)
+        self.header_spec = result.spec
+        return result.spec
+
+    def distribute_models(self) -> None:
+        """Send (backbone, coarse header) to every device in the cluster."""
+        assert self.backbone is not None and self.header_spec is not None
+        assert self.search is not None
+        header = self.search.materialize_header(self.header_spec, seed=self.config.seed)
+        payload_template = {
+            "vit_config": self.backbone.config,
+            "backbone_state": self.backbone.state_dict(),
+            "head_orders": [o.copy() for o in self.backbone._head_orders],
+            "neuron_orders": [o.copy() for o in self.backbone._neuron_orders],
+            "width": self.assigned_width,
+            "depth": self.assigned_depth,
+            "header_spec": self.header_spec,
+            "header_state": header.state_dict(),
+            "keep_fraction": self.config.keep_fraction,
+        }
+        for device in self.devices:
+            self.network.send(
+                Message(self.name, device.name, MessageKind.MODEL_DISTRIBUTION, dict(payload_template))
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 2-2: the single loop (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _compute_similarity(self) -> np.ndarray:
+        """Eqs. (19)-(20) from the devices' uploaded feature samples."""
+        samples = [
+            self._feature_samples[d.profile.device_id] for d in self.devices
+        ]
+        distances = distance_matrix(
+            samples, metric=self.config.similarity_metric, seed=self.config.seed
+        )
+        return regularize_similarity(
+            similarity_from_distances(distances), temperature=0.05
+        )
+
+    def aggregation_loop(self, num_rounds: Optional[int] = None) -> np.ndarray:
+        """Run T single-loop rounds; returns the similarity matrix used."""
+        rounds = num_rounds if num_rounds is not None else self.config.aggregation_rounds
+        for t in range(rounds):
+            self._pending_importance.clear()
+            include_features = self.similarity is None
+            for device in self.devices:
+                message = device.importance_round(include_feature_sample=include_features)
+                message.receiver = self.name
+                self.network.send(message)
+
+            if self.similarity is None:
+                self.similarity = self._compute_similarity()
+
+            ordered = [
+                self._pending_importance[d.profile.device_id] for d in self.devices
+            ]
+            personalized = aggregate_importance_sets(ordered, self.similarity)
+            for device, q_prime in zip(self.devices, personalized):
+                self.network.send(
+                    Message(
+                        self.name,
+                        device.name,
+                        MessageKind.PERSONALIZED_SET,
+                        {"importance": q_prime.astype(np.float32)},
+                    )
+                )
+        assert self.similarity is not None
+        return self.similarity
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[dict]:
+        """Final device-side fine-tuning and evaluation."""
+        results = []
+        for device in self.devices:
+            device.finetune()
+            results.append(device.evaluate())
+        return results

@@ -1,0 +1,117 @@
+"""Typed messages of the bidirectional single-loop protocol.
+
+Every interaction in Fig. 3 is a :class:`Message` with an explicit byte
+size, so the traffic accounting behind Table I is exact:
+
+* cloud ↔ edge (Phase 1): ``CLUSTER_STATS`` up, ``BACKBONE_ASSIGNMENT`` down;
+* edge ↔ device (Phase 2): ``MODEL_DISTRIBUTION`` down, ``IMPORTANCE_SET``
+  up, ``PERSONALIZED_SET`` down, repeated per single-loop round;
+* the centralized baseline instead sends ``DATASET_UPLOAD`` up.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.nn.serialization import json_nbytes
+
+
+class MessageKind(enum.Enum):
+    """Protocol message types (directions refer to the hierarchy)."""
+
+    CLUSTER_STATS = "cluster_stats"  # edge → cloud
+    BACKBONE_ASSIGNMENT = "backbone_assignment"  # cloud → edge
+    MODEL_DISTRIBUTION = "model_distribution"  # edge → device
+    IMPORTANCE_SET = "importance_set"  # device → edge
+    PERSONALIZED_SET = "personalized_set"  # edge → device
+    DATASET_UPLOAD = "dataset_upload"  # device → cloud (CS baseline)
+    ACK = "ack"
+
+    @property
+    def is_upload(self) -> bool:
+        """True if the message moves *up* the hierarchy (device→edge→cloud)."""
+        return self in (
+            MessageKind.CLUSTER_STATS,
+            MessageKind.IMPORTANCE_SET,
+            MessageKind.DATASET_UPLOAD,
+        )
+
+
+_SEQUENCE = itertools.count()
+
+
+@dataclass
+class Message:
+    """One transmitted payload with explicit size accounting.
+
+    ``payload`` carries live Python objects (this is an in-process
+    simulation); ``nbytes`` is what the wire transfer *would* cost, computed
+    from the payload's arrays/metadata at construction.
+    """
+
+    sender: str
+    receiver: str
+    kind: MessageKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+    nbytes: int = 0
+    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if self.nbytes == 0:
+            self.nbytes = payload_nbytes(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind.value}, {self.sender}->{self.receiver}, "
+            f"{self.nbytes}B, #{self.sequence})"
+        )
+
+
+def payload_nbytes(payload: Dict[str, Any]) -> int:
+    """Byte size of a payload: arrays by nbytes, the rest via JSON."""
+    total = 0
+    meta: Dict[str, Any] = {}
+    for key, value in payload.items():
+        total += _value_nbytes(key, value, meta)
+    if meta:
+        total += json_nbytes(meta)
+    return total
+
+
+def _value_nbytes(key: str, value: Any, meta: Dict[str, Any]) -> int:
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        if all(isinstance(v, np.ndarray) for v in value.values()):
+            # A state dict: arrays plus the (negligible) name manifest.
+            meta[key] = sorted(value.keys())
+            return int(sum(v.nbytes for v in value.values()))
+        inner_total = 0
+        for k, v in value.items():
+            inner_total += _value_nbytes(f"{key}.{k}", v, meta)
+        return inner_total
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(v, np.ndarray) for v in value
+    ):
+        meta[key] = len(value)
+        return int(sum(v.nbytes for v in value))
+    if hasattr(value, "nbytes") and callable(getattr(value, "nbytes")):
+        # Datasets expose nbytes() — used by the CS baseline's upload.
+        return int(value.nbytes())
+    meta[key] = _jsonable(value)
+    return 0
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)

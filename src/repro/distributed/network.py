@@ -1,0 +1,82 @@
+"""Simulated network with full traffic accounting.
+
+The :class:`Network` delivers messages between named nodes instantly (this
+is a protocol/cost simulation, not a latency simulation) and records every
+transfer: per message kind, per direction, and per (sender, receiver) pair.
+Table I's "Upload Data" column is read directly from these counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.distributed.messages import Message, MessageKind
+
+
+@dataclass
+class TrafficStats:
+    """Aggregated transfer counters."""
+
+    total_bytes: int = 0
+    upload_bytes: int = 0
+    download_bytes: int = 0
+    message_count: int = 0
+    by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_pair: Dict[Tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, message: Message) -> None:
+        self.total_bytes += message.nbytes
+        self.message_count += 1
+        if message.kind.is_upload:
+            self.upload_bytes += message.nbytes
+        else:
+            self.download_bytes += message.nbytes
+        self.by_kind[message.kind.value] += message.nbytes
+        self.by_pair[(message.sender, message.receiver)] += message.nbytes
+
+    def upload_megabytes(self) -> float:
+        return self.upload_bytes / 1e6
+
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1e6
+
+
+class Network:
+    """In-process message fabric connecting cloud, edges and devices."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {}
+        self.stats = TrafficStats()
+        self.log: List[Message] = []
+
+    def register(self, name: str, handler: Callable[[Message], Optional[Message]]) -> None:
+        """Register a node's message handler under its unique name."""
+        if name in self._handlers:
+            raise ValueError(f"node name {name!r} already registered")
+        self._handlers[name] = handler
+
+    def nodes(self) -> List[str]:
+        return sorted(self._handlers)
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver a message; returns the receiver's (unrecorded) reply.
+
+        Replies returned by handlers are control-flow conveniences for the
+        simulation; protocols that need the reply *transmitted* must send it
+        as an explicit message so its bytes are accounted.
+        """
+        if message.receiver not in self._handlers:
+            raise KeyError(f"unknown receiver {message.receiver!r}")
+        self.stats.record(message)
+        self.log.append(message)
+        return self._handlers[message.receiver](message)
+
+    def kind_sequence(self) -> List[str]:
+        """The ordered kinds of all delivered messages (for conformance tests)."""
+        return [m.kind.value for m in self.log]
+
+    def reset_stats(self) -> None:
+        self.stats = TrafficStats()
+        self.log = []

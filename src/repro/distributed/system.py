@@ -1,0 +1,254 @@
+"""The full ACME system: build the hierarchy, run the protocol end-to-end.
+
+:class:`ACMESystem` assembles cloud, edge servers and devices from an
+:class:`ACMEConfig`, wires them through a byte-accounted network, and runs
+the complete pipeline of Fig. 4:
+
+1. cloud pretrains θ0 and generates the dynamic backbone (§III-B1);
+2. every edge uploads statistics, receives its PFG-selected backbone
+   (§III-B2);
+3. every edge runs header NAS and distributes models (§III-C);
+4. every cluster runs the personalized-aggregation single loop (§III-D);
+5. devices fine-tune and report accuracy.
+
+The result object carries per-device accuracies, per-cluster assignments,
+and the full traffic ledger — everything the evaluation section needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distill import DistillConfig
+from repro.core.nas import NASConfig
+from repro.data.dataset import ArrayDataset, merge
+from repro.data.partition import partition_dirichlet, partition_iid
+from repro.data.synthetic import SyntheticImageGenerator, make_cifar100_like
+from repro.distributed.cloud import CloudConfig, CloudServer
+from repro.distributed.device import DeviceNode
+from repro.distributed.edge import EdgeConfig, EdgeServer
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.metrics import centralized_upload_bytes, relative_upload
+from repro.distributed.network import Network, TrafficStats
+from repro.hw.profiles import DeviceProfile, make_fleet
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+@dataclass
+class ACMEConfig:
+    """Top-level configuration of a system run.
+
+    Defaults are sized for CPU execution: 2 clusters × 3 devices with a
+    small ViT.  Scale ``num_clusters``/``devices_per_cluster`` up for the
+    paper's 10 × 5 testbed.
+    """
+
+    num_clusters: int = 2
+    devices_per_cluster: int = 3
+    num_classes: int = 8
+    samples_per_class: int = 48
+    public_samples_per_class: int = 24
+    shared_fraction: float = 0.15  # edge keeps 10-20% of cluster data
+    dirichlet_alpha: float = 0.6  # device-level non-IID skew
+    vit: ViTConfig = None  # type: ignore[assignment]
+    cloud: CloudConfig = None  # type: ignore[assignment]
+    edge: EdgeConfig = None  # type: ignore[assignment]
+    storage_levels: Sequence[int] = (20_000, 30_000, 40_000, 50_000, 60_000)
+    device_importance: object = None  # Optional[ImportanceConfig]
+    finalize: bool = True  # run final fine-tune + evaluation
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vit is None:
+            self.vit = ViTConfig(num_classes=self.num_classes, depth=4, embed_dim=32)
+        if self.cloud is None:
+            self.cloud = CloudConfig(
+                depth_choices=list(range(1, self.vit.depth + 1)),
+                pretrain_epochs=4,
+                distill=DistillConfig(epochs=2, seed=self.seed),
+                seed=self.seed,
+            )
+        if self.edge is None:
+            self.edge = EdgeConfig(
+                nas=NASConfig(
+                    num_blocks=2,
+                    search_epochs=2,
+                    children_per_epoch=2,
+                    shared_steps_per_child=3,
+                    controller_updates_per_epoch=2,
+                    derive_samples=3,
+                    train_backbone=False,
+                    seed=self.seed,
+                ),
+                keep_fraction=0.8,
+                seed=self.seed,
+            )
+
+
+@dataclass
+class ClusterResult:
+    """Per-cluster outcome."""
+
+    edge_name: str
+    width: float
+    depth: int
+    device_accuracies: List[float] = field(default_factory=list)
+    device_losses: List[float] = field(default_factory=list)
+
+
+@dataclass
+class ACMERunResult:
+    """Everything a full system run produces."""
+
+    clusters: List[ClusterResult]
+    traffic: TrafficStats
+    centralized_upload_bytes: int
+    message_kinds: List[str]
+
+    @property
+    def mean_accuracy(self) -> float:
+        accs = [a for c in self.clusters for a in c.device_accuracies]
+        return float(np.mean(accs)) if accs else float("nan")
+
+    @property
+    def upload_ratio_vs_centralized(self) -> float:
+        """ACME upload bytes ÷ centralized upload bytes (paper: ≈6%)."""
+        if self.centralized_upload_bytes == 0:
+            return float("nan")
+        return self.traffic.upload_bytes / self.centralized_upload_bytes
+
+
+class ACMESystem:
+    """Builds and runs the three-tier ACME deployment."""
+
+    def __init__(
+        self,
+        config: Optional[ACMEConfig] = None,
+        generator: Optional[SyntheticImageGenerator] = None,
+    ) -> None:
+        self.config = config or ACMEConfig()
+        cfg = self.config
+        self.generator = generator or make_cifar100_like(
+            num_classes=cfg.num_classes, image_size=cfg.vit.image_size, seed=cfg.seed
+        )
+        self.network = Network()
+        self.rng = np.random.default_rng(cfg.seed)
+
+        # --- data ------------------------------------------------------
+        self.public_dataset = self.generator.generate(
+            cfg.public_samples_per_class, seed=1000 + cfg.seed, name="public"
+        )
+        full = self.generator.generate(
+            cfg.samples_per_class, seed=2000 + cfg.seed, name="fleet"
+        )
+        total_devices = cfg.num_clusters * cfg.devices_per_cluster
+        shards = partition_dirichlet(
+            full, total_devices, cfg.dirichlet_alpha, self.rng, min_samples=12
+        )
+        # Each device holds out a quarter of its shard for evaluation:
+        # personalized models are judged on the device's *own* data
+        # distribution (the paper's per-device accuracy).
+        self.device_datasets = []
+        self.device_test_sets = []
+        for shard in shards:
+            test, train = shard.split(0.25, self.rng)
+            self.device_datasets.append(train)
+            self.device_test_sets.append(test)
+
+        # --- hardware ----------------------------------------------------
+        self.fleet = make_fleet(
+            num_clusters=cfg.num_clusters,
+            devices_per_cluster=cfg.devices_per_cluster,
+            seed=cfg.seed,
+            storage_levels=cfg.storage_levels,
+        )
+
+        # --- nodes -------------------------------------------------------
+        reference = VisionTransformer(cfg.vit, seed=cfg.seed)
+        self.cloud = CloudServer(
+            reference, self.public_dataset, self.network, cfg.cloud
+        )
+        self.edges: List[EdgeServer] = []
+        device_index = 0
+        for cluster_idx, profiles in enumerate(self.fleet):
+            devices = []
+            local_sets = []
+            for profile in profiles:
+                dataset = self.device_datasets[device_index]
+                local_sets.append(dataset)
+                devices.append(
+                    DeviceNode(
+                        profile,
+                        dataset,
+                        self.network,
+                        test_dataset=self.device_test_sets[device_index],
+                        importance_config=cfg.device_importance,
+                        seed=cfg.seed + profile.device_id,
+                    )
+                )
+                device_index += 1
+            # Edge shared dataset: a fraction of each device's data
+            # (the 10-20% of §IV-A).
+            shared_parts = [
+                d.sample(max(2, int(cfg.shared_fraction * len(d))), self.rng)
+                for d in local_sets
+            ]
+            shared = merge(shared_parts, name=f"edge{cluster_idx}-shared")
+            self.edges.append(
+                EdgeServer(cluster_idx, devices, shared, self.network, cfg.edge)
+            )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ACMERunResult:
+        """Execute the full pipeline and gather results."""
+        cfg = self.config
+
+        # Phase 0/1 (cloud-side, no network traffic).
+        self.cloud.pretrain_reference()
+        self.cloud.generate_dynamic_backbone()
+
+        clusters: List[ClusterResult] = []
+        for edge in self.edges:
+            # Phase 1: cloud ↔ edge bidirectional interaction.
+            edge.request_backbone()
+            # Phase 2-1: header generation + distribution.
+            edge.search_header()
+            edge.distribute_models()
+            # Phase 2-2: the single loop.
+            edge.aggregation_loop()
+            # Final fine-tune + evaluation (skipped in protocol-only runs,
+            # e.g. the Table I traffic accounting where only byte counts
+            # matter — payload sizes depend on shapes, not trained values).
+            evals = edge.finalize() if cfg.finalize else []
+            clusters.append(
+                ClusterResult(
+                    edge_name=edge.name,
+                    width=edge.assigned_width or 1.0,
+                    depth=edge.assigned_depth or cfg.vit.depth,
+                    device_accuracies=[e["accuracy"] for e in evals],
+                    device_losses=[e["loss"] for e in evals],
+                )
+            )
+
+        return ACMERunResult(
+            clusters=clusters,
+            traffic=self.network.stats,
+            centralized_upload_bytes=centralized_upload_bytes(self.device_datasets),
+            message_kinds=self.network.kind_sequence(),
+        )
+
+    def run_centralized_baseline(self) -> TrafficStats:
+        """Traffic of the CS baseline: every device uploads its dataset.
+
+        Uses a dedicated network so the ACME run's ledger is untouched.
+        """
+        baseline_net = Network()
+        baseline_net.register("cloud-cs", lambda m: None)
+        for edge in self.edges:
+            for device in edge.devices:
+                message = device.dataset_upload_message("cloud-cs")
+                baseline_net.send(message)
+        return baseline_net.stats

@@ -1,0 +1,144 @@
+"""Device hardware profiles.
+
+Each device ``n`` is the paper's tuple ``(G_n, C_n, θ_n)`` (§II-C) extended
+with the coefficients its energy model needs (§II-B).  Profiles are
+synthesized to mirror the evaluation testbed: clusters of devices with
+similar capability, vCPUs from 3 to 7, and storage capacities of
+200–400 MB (scaled to this reproduction's model sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static attributes of one device.
+
+    Attributes
+    ----------
+    device_id:
+        Unique identifier within the fleet.
+    gpu_capacity:
+        ``G_n`` — compute capability (proxied by vCPU count in the paper's
+        testbed); drives the power coefficients.
+    storage_limit:
+        ``C_n`` — maximum storable parameter count for the deployed model.
+    num_patches:
+        ``p_n`` — ViT patch count for this device's input resolution.
+    batch_size:
+        ``β`` — the batch size used for the GPU-energy estimate ``G^β_n``.
+    base_power / power_per_layer:
+        ``G_n``-derived terms of Eq. (2): idle power and the increment per
+        additional effective Transformer layer (``ΔG_n ∝ G_n``).
+    base_latency / latency_per_layer:
+        ``L_n`` and ``ΔL_n ∝ L_n`` of Eq. (2), seconds per epoch.
+    """
+
+    device_id: int
+    gpu_capacity: float
+    storage_limit: int
+    num_patches: int = 16
+    batch_size: int = 32
+    base_power: float = field(default=0.0)
+    power_per_layer: float = field(default=0.0)
+    base_latency: float = field(default=0.0)
+    latency_per_layer: float = field(default=0.0)
+
+    @staticmethod
+    def synthesize(
+        device_id: int,
+        vcpus: int,
+        storage_limit: int,
+        rng: np.random.Generator,
+        num_patches: int = 16,
+        batch_size: int = 32,
+    ) -> "DeviceProfile":
+        """Build a profile from a vCPU class, with mild random variation.
+
+        The proportionality constraints of Eq. (2) are enforced here:
+        ``ΔG_n ∝ G_n`` and ``ΔL_n ∝ L_n`` (faster devices idle hotter but
+        finish epochs sooner).
+        """
+        if vcpus < 1:
+            raise ValueError(f"vcpus must be >= 1, got {vcpus}")
+        gpu_capacity = float(vcpus)
+        jitter = 1.0 + 0.05 * rng.standard_normal()
+        base_power = 2.0 * gpu_capacity * jitter  # watts
+        power_per_layer = 0.15 * base_power  # ΔG ∝ G
+        base_latency = (8.0 / gpu_capacity) * (1.0 + 0.05 * rng.standard_normal())
+        latency_per_layer = 0.25 * base_latency  # ΔL ∝ L
+        return DeviceProfile(
+            device_id=device_id,
+            gpu_capacity=gpu_capacity,
+            storage_limit=storage_limit,
+            num_patches=num_patches,
+            batch_size=batch_size,
+            base_power=base_power,
+            power_per_layer=power_per_layer,
+            base_latency=base_latency,
+            latency_per_layer=latency_per_layer,
+        )
+
+
+def make_fleet(
+    num_clusters: int = 10,
+    devices_per_cluster: int = 5,
+    seed: int = 0,
+    storage_levels: Sequence[int] = (200_000, 250_000, 300_000, 350_000, 400_000),
+) -> List[List[DeviceProfile]]:
+    """Synthesize the paper's testbed: clusters of similar devices.
+
+    The paper configures 10 clusters of 5 VMs with vCPUs in [3, 7] and
+    storage 200–400 MB.  Storage is expressed here in *parameter counts*
+    scaled to the reproduction's model sizes (default levels span the sizes
+    our scaled ViT actually reaches).
+
+    Devices within a cluster share a vCPU class (clusters are formed by
+    similarity of performance and storage) and step through the storage
+    levels, exactly as in §IV-A.
+    """
+    rng = np.random.default_rng(seed)
+    fleet: List[List[DeviceProfile]] = []
+    device_id = 0
+    for cluster_idx in range(num_clusters):
+        vcpus = 3 + cluster_idx % 5  # 3..7, one class per cluster
+        cluster = []
+        for slot in range(devices_per_cluster):
+            storage = storage_levels[slot % len(storage_levels)]
+            cluster.append(
+                DeviceProfile.synthesize(device_id, vcpus, storage, rng)
+            )
+            device_id += 1
+        fleet.append(cluster)
+    return fleet
+
+
+def cluster_statistics(cluster: Sequence[DeviceProfile]) -> dict:
+    """The statistical parameters an edge server uploads to the cloud.
+
+    This is the *only* device information that leaves the edge in Phase 1 —
+    a handful of floats, not data — which is what makes Table I's upload
+    volume so small.
+    """
+    if not cluster:
+        raise ValueError("cluster must contain at least one device")
+    storages = np.array([d.storage_limit for d in cluster], dtype=float)
+    capacities = np.array([d.gpu_capacity for d in cluster], dtype=float)
+    return {
+        "num_devices": len(cluster),
+        "min_storage": float(storages.min()),
+        "mean_storage": float(storages.mean()),
+        "min_gpu_capacity": float(capacities.min()),
+        "mean_gpu_capacity": float(capacities.mean()),
+        "max_base_power": float(max(d.base_power for d in cluster)),
+        "max_power_per_layer": float(max(d.power_per_layer for d in cluster)),
+        "max_base_latency": float(max(d.base_latency for d in cluster)),
+        "max_latency_per_layer": float(max(d.latency_per_layer for d in cluster)),
+        "num_patches": int(cluster[0].num_patches),
+        "batch_size": int(cluster[0].batch_size),
+    }

@@ -1,0 +1,227 @@
+"""Lightweight ViT baselines for Fig. 7(a)/13(a).
+
+The paper compares ACME against published lightweight vision Transformers:
+Efficient-ViT, MobileViT, Twins-SVT, and the decomposed family DeViT /
+DeDeiT / DeCCT.  The originals target 224×224 ImageNet-scale inputs; here
+each baseline is rebuilt on the reproduction's substrate with the same
+*architectural idea* and a parameter budget occupying the same relative
+size slot, so the accuracy-vs-size comparison of Fig. 7(a) is meaningful.
+
+Every baseline implements ``forward(images) -> logits`` and inherits
+parameter counting from :class:`~repro.nn.layers.Module`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.conv import AvgPool2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers import Activation, LayerNorm, Linear, Module, Sequential
+from repro.nn.tensor import Tensor, concatenate
+from repro.nn.transformer import TransformerEncoder
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+class _TokenMixer(Module):
+    """Flatten a feature map into tokens, run a Transformer, pool back."""
+
+    def __init__(
+        self, channels: int, depth: int, num_heads: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.encoder = TransformerEncoder(depth, channels, num_heads, mlp_ratio=2.0, rng=rng)
+        self.norm = LayerNorm(channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        tokens = x.reshape(n, c, h * w).transpose((0, 2, 1))  # (N, T, C)
+        tokens = self.norm(self.encoder(tokens))
+        return tokens.transpose((0, 2, 1)).reshape(n, c, h, w)
+
+
+class EfficientViTLike(Module):
+    """Efficient-ViT (Xie & Liao 2023): CNN for local, ViT for global.
+
+    A small convolutional stem extracts local features; a narrow
+    Transformer mixes them globally; classification uses pooled features.
+    The smallest baseline in the Fig. 7(a) lineup.
+    """
+
+    name = "Efficient-ViT"
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        channels: int = 3,
+        num_classes: int = 20,
+        width: int = 24,
+        depth: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = Sequential(
+            Conv2d(channels, width, 3, stride=2, padding=1, rng=rng),
+            Activation("gelu"),
+            Conv2d(width, width, 3, padding=1, rng=rng),
+            Activation("gelu"),
+        )
+        self.mixer = _TokenMixer(width, depth, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_classes, rng=rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        x = self.stem(images)
+        x = self.mixer(x)
+        return self.fc(self.pool(x))
+
+
+class MobileViTLike(Module):
+    """MobileViT (Mehta & Rastegari 2022): conv blocks ⊗ transformer blocks.
+
+    Alternates convolutional downsampling stages with token-mixing
+    Transformer stages, the signature MobileViT layout.
+    """
+
+    name = "MobileViT"
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        channels: int = 3,
+        num_classes: int = 20,
+        width: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Sequential(
+            Conv2d(channels, width, 3, stride=2, padding=1, rng=rng),
+            Activation("gelu"),
+        )
+        self.mixer1 = _TokenMixer(width, 1, 2, rng)
+        self.conv2 = Sequential(
+            Conv2d(width, width, 3, stride=2, padding=1, rng=rng),
+            Activation("gelu"),
+        )
+        self.mixer2 = _TokenMixer(width, 1, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_classes, rng=rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        x = self.mixer1(self.conv1(images))
+        x = self.mixer2(self.conv2(x))
+        return self.fc(self.pool(x))
+
+
+class TwinsSVTLike(Module):
+    """Twins-SVT (Chu et al. 2021): conditional position encoding via conv.
+
+    Uses a convolutional positional-encoding generator (the Twins CPE) in
+    front of a ViT encoder with locally-grouped then global attention,
+    approximated here by two encoder stages at different token resolutions.
+    """
+
+    name = "Twins-SVT"
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        channels: int = 3,
+        num_classes: int = 20,
+        width: int = 40,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embed = Conv2d(channels, width, 4, stride=4, rng=rng)  # patchify
+        self.cpe = Conv2d(width, width, 3, padding=1, rng=rng)  # positional conv
+        self.local_stage = _TokenMixer(width, 1, 2, rng)
+        self.pool_stage = AvgPool2d(2)
+        self.global_stage = _TokenMixer(width, 2, 2, rng)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(width, num_classes, rng=rng)
+
+    def forward(self, images: Tensor) -> Tensor:
+        if not isinstance(images, Tensor):
+            images = Tensor(images)
+        x = self.embed(images)
+        x = x + self.cpe(x)
+        x = self.local_stage(x)
+        x = self.pool_stage(x)
+        x = self.global_stage(x)
+        return self.fc(self.pool(x))
+
+
+class DecomposedViT(Module):
+    """DeViT family (Xu et al. 2023): a decomposed backbone + separate header.
+
+    The DeViT idea is to decompose a large ViT into a smaller backbone and a
+    dedicated classification header trained for the deployment task.  The
+    three published variants (DeViT, DeDeiT, DeCCT) differ in the parent
+    model; here they differ in backbone width/depth, occupying three size
+    slots as in Fig. 7(a).
+    """
+
+    def __init__(
+        self,
+        variant: str = "devit",
+        image_size: int = 16,
+        num_classes: int = 20,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        presets = {
+            "devit": dict(embed_dim=48, depth=4, num_heads=4),
+            "dedeit": dict(embed_dim=40, depth=4, num_heads=4),
+            "decct": dict(embed_dim=32, depth=3, num_heads=4),
+        }
+        if variant not in presets:
+            raise ValueError(f"unknown variant {variant!r}; options: {sorted(presets)}")
+        self.name = {"devit": "DeViT", "dedeit": "DeDeiT", "decct": "DeCCT"}[variant]
+        preset = presets[variant]
+        config = ViTConfig(
+            image_size=image_size,
+            patch_size=4,
+            embed_dim=preset["embed_dim"],
+            depth=preset["depth"],
+            num_heads=preset["num_heads"],
+            mlp_ratio=2.0,
+            num_classes=num_classes,
+        )
+        self.backbone = VisionTransformer(config, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        # Dedicated MLP header on CLS + pooled tokens (the "De-" header).
+        self.header = Sequential(
+            Linear(2 * preset["embed_dim"], preset["embed_dim"], rng=rng),
+            Activation("gelu"),
+            Linear(preset["embed_dim"], num_classes, rng=rng),
+        )
+
+    def forward(self, images: Tensor) -> Tensor:
+        cls, tokens = self.backbone.forward_features(images)
+        pooled = tokens.mean(axis=1)
+        return self.header(concatenate([cls, pooled], axis=1))
+
+
+BASELINE_BUILDERS = {
+    "efficient_vit": EfficientViTLike,
+    "mobile_vit": MobileViTLike,
+    "twins_svt": TwinsSVTLike,
+    "devit": lambda **kw: DecomposedViT(variant="devit", **kw),
+    "dedeit": lambda **kw: DecomposedViT(variant="dedeit", **kw),
+    "decct": lambda **kw: DecomposedViT(variant="decct", **kw),
+}
+
+
+def build_baseline(name: str, **kwargs) -> Module:
+    """Instantiate a named baseline model."""
+    if name not in BASELINE_BUILDERS:
+        raise ValueError(f"unknown baseline {name!r}; options: {sorted(BASELINE_BUILDERS)}")
+    return BASELINE_BUILDERS[name](**kwargs)

@@ -1,0 +1,182 @@
+"""NAS block vocabulary: operations and architecture specs (Fig. 5).
+
+A header architecture is a DAG of ``B`` blocks repeated ``U`` times.  Each
+block is the paper's 5-tuple ``(Î_b,1, Î_b,2, Ô_b,1, Ô_b,2, Ĉ)`` with the
+combiner Ĉ fixed to element-wise addition (following Zoph et al., as the
+paper does).  Blocks operate on ``(N, C, g, g)`` feature maps; every
+candidate operation is shape-preserving so any pair of block outputs can be
+added directly (the role of the paper's dimension-fixing 1×1 convolutions
+is folded into the operations themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.conv import AvgPool2d, Conv2d, MaxPool2d
+from repro.nn.layers import Activation, LayerNorm, Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One DAG block: two inputs, two operations, combined by addition.
+
+    ``input1``/``input2`` index into the block's input set
+    ``[backbone, penultimate, block_1, ..., block_{b-1}]`` (so block ``b``
+    has ``b + 1`` choices); ``op1``/``op2`` index the operation registry.
+    """
+
+    input1: int
+    input2: int
+    op1: int
+    op2: int
+
+    def validate(self, block_index: int, num_ops: int) -> None:
+        limit = block_index + 2  # block b (0-indexed) sees b+2 inputs
+        for value, bound, label in (
+            (self.input1, limit, "input1"),
+            (self.input2, limit, "input2"),
+            (self.op1, num_ops, "op1"),
+            (self.op2, num_ops, "op2"),
+        ):
+            if not 0 <= value < bound:
+                raise ValueError(
+                    f"block {block_index}: {label}={value} out of range [0, {bound})"
+                )
+
+
+@dataclass(frozen=True)
+class HeaderSpec:
+    """A full header architecture: ``B`` blocks repeated ``U`` times."""
+
+    blocks: Tuple[BlockSpec, ...]
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("header needs at least one block")
+        if self.repeats < 1:
+            raise ValueError("repeats (U) must be >= 1")
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def validate(self, num_ops: int) -> None:
+        for b, block in enumerate(self.blocks):
+            block.validate(b, num_ops)
+
+    def to_sequence(self) -> List[int]:
+        """Flatten to the controller's 4B-long decision sequence."""
+        seq: List[int] = []
+        for block in self.blocks:
+            seq.extend([block.input1, block.input2, block.op1, block.op2])
+        return seq
+
+    @staticmethod
+    def from_sequence(seq: Sequence[int], repeats: int = 1) -> "HeaderSpec":
+        seq = list(seq)
+        if len(seq) % 4 != 0:
+            raise ValueError(f"sequence length {len(seq)} is not a multiple of 4")
+        blocks = tuple(
+            BlockSpec(*seq[i : i + 4]) for i in range(0, len(seq), 4)
+        )
+        return HeaderSpec(blocks=blocks, repeats=repeats)
+
+
+class _ConvOp(Module):
+    """k×k convolution with GELU, shape-preserving."""
+
+    def __init__(self, channels: int, kernel: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv = Conv2d(channels, channels, kernel, padding=kernel // 2, rng=rng)
+        self.act = Activation("gelu")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.conv(x))
+
+
+class _PoolOp(Module):
+    """3×3 pooling with stride 1 and padding 1 (shape-preserving)."""
+
+    def __init__(self, channels: int, kind: str, rng: np.random.Generator) -> None:
+        super().__init__()
+        pool_cls = MaxPool2d if kind == "max" else AvgPool2d
+        self.pool = pool_cls(3, stride=1, padding=1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(x)
+
+
+class _IdentityOp(Module):
+    def __init__(self, channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class _DownsampleOp(Module):
+    """Halve resolution with average pooling, restore it by repetition.
+
+    Shape-preserving surrogate for the search space's downsampling option:
+    the output carries only the coarse (2×-downsampled) information.
+    """
+
+    def __init__(self, channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.pool = AvgPool2d(2, stride=2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c, h, w = x.shape
+        if h < 2 or w < 2:
+            return x
+        coarse = self.pool(x)  # (N, C, h//2, w//2)
+        ch, cw = coarse.shape[2], coarse.shape[3]
+        up = coarse.reshape(n, c, ch, 1, cw, 1)
+        up = up + Tensor(np.zeros((n, c, ch, 2, cw, 2)))
+        up = up.reshape(n, c, ch * 2, cw * 2)
+        if ch * 2 != h or cw * 2 != w:
+            up = up.pad(((0, 0), (0, 0), (0, h - ch * 2), (0, w - cw * 2)))
+        return up
+
+
+#: The operation registry used in the paper's experiments (§IV-A):
+#: convolutions of kernel size 1/3/5, identity, downsampling, and
+#: average/max pooling.
+OPERATION_NAMES: Tuple[str, ...] = (
+    "conv1x1",
+    "conv3x3",
+    "conv5x5",
+    "identity",
+    "downsample",
+    "avg_pool",
+    "max_pool",
+)
+
+
+def build_operation(name: str, channels: int, rng: np.random.Generator) -> Module:
+    """Instantiate a candidate operation by registry name."""
+    if name == "conv1x1":
+        return _ConvOp(channels, 1, rng)
+    if name == "conv3x3":
+        return _ConvOp(channels, 3, rng)
+    if name == "conv5x5":
+        return _ConvOp(channels, 5, rng)
+    if name == "identity":
+        return _IdentityOp(channels, rng)
+    if name == "downsample":
+        return _DownsampleOp(channels, rng)
+    if name == "avg_pool":
+        return _PoolOp(channels, "avg", rng)
+    if name == "max_pool":
+        return _PoolOp(channels, "max", rng)
+    raise ValueError(f"unknown operation {name!r}; options: {OPERATION_NAMES}")
+
+
+def num_operations() -> int:
+    return len(OPERATION_NAMES)

@@ -1,0 +1,154 @@
+"""Multi-exit ViT with early-exit inference (§V related work, reproduced).
+
+The paper positions ACME against multi-exit/early-exit header designs
+(Bakhtiarnia et al., LGViT): attach classification headers at intermediate
+Transformer layers and stop at the first exit whose prediction is
+confident enough.  This module provides that capability on the
+reproduction's substrate so the comparison systems of §V are runnable:
+
+* :class:`MultiExitViT` wraps a backbone and one header per chosen exit
+  layer (any :class:`~repro.models.headers.Header` design);
+* joint training sums per-exit losses (the standard multi-exit recipe);
+* :meth:`MultiExitViT.predict_early_exit` runs inference with a
+  max-softmax confidence threshold and reports, per sample, which exit
+  answered — the quantity behind early-exit latency savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.headers import BackboneFeatures, Header, build_fixed_header
+from repro.models.vit import VisionTransformer
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class EarlyExitResult:
+    """Outcome of a confidence-thresholded inference pass."""
+
+    predictions: np.ndarray  # (N,) predicted classes
+    exit_indices: np.ndarray  # (N,) which exit answered (position in exits)
+    confidences: np.ndarray  # (N,) max-softmax confidence of the answer
+
+    def mean_exit_depth(self, exit_layers: Sequence[int]) -> float:
+        """Average backbone depth actually executed."""
+        layers = np.asarray(exit_layers)[self.exit_indices]
+        return float(layers.mean())
+
+
+class MultiExitViT(Module):
+    """A ViT backbone with classification exits at intermediate layers.
+
+    Parameters
+    ----------
+    backbone:
+        The (possibly scaled) Vision Transformer; its own head is unused.
+    exit_layers:
+        1-based layer indices (within the *active* depth) after which an
+        exit header is attached.  The final active layer is always an exit.
+    header_kind:
+        Which fixed header design to attach at each exit.
+    """
+
+    def __init__(
+        self,
+        backbone: VisionTransformer,
+        exit_layers: Sequence[int],
+        header_kind: str = "mlp",
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        depth = backbone.depth
+        exits = sorted(set(int(e) for e in exit_layers) | {depth})
+        if any(not 1 <= e <= depth for e in exits):
+            raise ValueError(f"exit layers must be in [1, {depth}], got {exit_layers}")
+        self.backbone = backbone
+        self.exit_layers: List[int] = exits
+        rng = np.random.default_rng(seed)
+        cfg = backbone.config
+        self.headers: List[Header] = []
+        for i, layer in enumerate(exits):
+            header = build_fixed_header(
+                header_kind, cfg.embed_dim, cfg.num_patches, cfg.num_classes, rng=rng
+            )
+            self.register_module(f"exit{layer}", header)
+            self.headers.append(header)
+
+    # ------------------------------------------------------------------
+    def _exit_features(self, images) -> List[BackboneFeatures]:
+        """Per-exit features from a single backbone pass."""
+        backbone = self.backbone
+        x = backbone._embed(images if isinstance(images, Tensor) else Tensor(images))
+        features: List[BackboneFeatures] = []
+        active_index = 0
+        previous = x
+        current = x
+        exit_set = set(self.exit_layers)
+        for layer in backbone.encoder.layers:
+            if not layer.active:
+                continue
+            previous = current
+            current = layer(current)
+            active_index += 1
+            if active_index in exit_set:
+                normed = backbone.norm(current)
+                features.append(
+                    BackboneFeatures(
+                        cls=normed[:, 0, :],
+                        tokens=normed[:, 1:, :],
+                        penultimate=previous[:, 1:, :],
+                    )
+                )
+        return features
+
+    def forward_all_exits(self, images) -> List[Tensor]:
+        """Logits from every exit (one backbone pass, shared prefix)."""
+        return [
+            header(feat)
+            for header, feat in zip(self.headers, self._exit_features(images))
+        ]
+
+    def forward(self, images) -> Tensor:
+        """Logits of the final exit."""
+        return self.forward_all_exits(images)[-1]
+
+    # ------------------------------------------------------------------
+    def joint_loss(self, images, labels: np.ndarray) -> Tensor:
+        """Sum of per-exit cross-entropies (standard multi-exit training)."""
+        total: Optional[Tensor] = None
+        for logits in self.forward_all_exits(images):
+            loss = F.cross_entropy(logits, labels)
+            total = loss if total is None else total + loss
+        assert total is not None
+        return total
+
+    def predict_early_exit(self, images, threshold: float = 0.9) -> EarlyExitResult:
+        """Answer each sample at the first exit whose confidence clears
+        ``threshold`` (the last exit answers whatever remains)."""
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        all_logits = self.forward_all_exits(images)
+        n = all_logits[0].shape[0]
+        predictions = np.full(n, -1, dtype=np.int64)
+        exit_indices = np.zeros(n, dtype=np.int64)
+        confidences = np.zeros(n)
+        unresolved = np.ones(n, dtype=bool)
+
+        for i, logits in enumerate(all_logits):
+            probs = F.softmax(logits).data
+            conf = probs.max(axis=-1)
+            preds = probs.argmax(axis=-1)
+            is_last = i == len(all_logits) - 1
+            take = unresolved & ((conf >= threshold) | is_last)
+            predictions[take] = preds[take]
+            exit_indices[take] = i
+            confidences[take] = conf[take]
+            unresolved &= ~take
+        assert not unresolved.any()
+        return EarlyExitResult(predictions, exit_indices, confidences)

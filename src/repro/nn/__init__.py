@@ -1,0 +1,79 @@
+"""From-scratch neural-network substrate (autograd, layers, optimizers).
+
+This subpackage replaces PyTorch for the reproduction: a reverse-mode
+autograd :class:`~repro.nn.tensor.Tensor`, standard layers (Linear,
+LayerNorm, Conv2d, LSTM, multi-head self-attention), Transformer encoder
+blocks with maskable width/depth, and SGD/Adam optimizers.
+"""
+
+from repro.nn import functional
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.conv import (
+    AvgPool2d,
+    Conv2d,
+    Downsample2d,
+    GlobalAvgPool2d,
+    MaxPool2d,
+)
+from repro.nn.layers import (
+    Activation,
+    Dropout,
+    Embedding,
+    Linear,
+    LayerNorm,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.optim import Adam, Optimizer, SGD, clip_grad_norm
+from repro.nn.serialization import (
+    array_nbytes,
+    json_nbytes,
+    load_state,
+    module_nbytes,
+    save_state,
+    state_dict_nbytes,
+)
+from repro.nn.tensor import Tensor, concatenate, ones, stack, where, zeros
+from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "AvgPool2d",
+    "Conv2d",
+    "Downsample2d",
+    "Dropout",
+    "Embedding",
+    "GlobalAvgPool2d",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "array_nbytes",
+    "clip_grad_norm",
+    "concatenate",
+    "functional",
+    "json_nbytes",
+    "load_state",
+    "module_nbytes",
+    "ones",
+    "save_state",
+    "stack",
+    "state_dict_nbytes",
+    "where",
+    "zeros",
+]

@@ -1,0 +1,168 @@
+"""Convolution and pooling layers via im2col.
+
+These power the CNN-style header blocks of the NAS search space (z×z
+convolutions, average/max pooling, downsampling — see Fig. 5 of the paper).
+Inputs follow the ``(N, C, H, W)`` layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping padded input pixels to column-matrix entries."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel} with stride {stride}, padding {padding} does not fit input {x_shape}"
+        )
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = sh * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = sw * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def im2col(x: Tensor, kernel, stride=1, padding=0) -> Tuple[Tensor, int, int]:
+    """Unfold ``x`` into a ``(C*kh*kw, N*out_h*out_w)`` column tensor."""
+    kernel = _pair(kernel)
+    stride = _pair(stride)
+    padding = _pair(padding)
+    ph, pw = padding
+    if ph or pw:
+        x = x.pad(((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kernel, stride, (0, 0))
+    cols = x[:, k, i, j]  # (N, C*kh*kw, out_h*out_w)
+    n = x.shape[0]
+    cols = cols.transpose((1, 2, 0)).reshape(k.shape[0], -1)
+    return cols, out_h, out_w
+
+
+class Conv2d(Module):
+    """2-D convolution implemented with im2col + matmul."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        kh, kw = self.kernel_size
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kh, kw), rng)
+        )
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[0]
+        cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
+        w_flat = self.weight.reshape(self.out_channels, -1)
+        out = w_flat @ cols  # (out_channels, N*out_h*out_w)
+        out = out.reshape(self.out_channels, out_h * out_w, n)
+        out = out.transpose((2, 0, 1)).reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, self.out_channels, 1, 1)
+        return out
+
+
+class _Pool2d(Module):
+    """Shared machinery for max and average pooling."""
+
+    def __init__(self, kernel_size, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+
+    def _unfold(self, x: Tensor) -> Tuple[Tensor, int, int, int, int]:
+        n, c, _h, _w = x.shape
+        kh, kw = self.kernel_size
+        # Pool each channel independently: reshape to (N*C, 1, H, W).
+        x_flat = x.reshape(n * c, 1, x.shape[2], x.shape[3])
+        cols, out_h, out_w = im2col(x_flat, self.kernel_size, self.stride, self.padding)
+        # cols: (kh*kw, N*C*out_h*out_w)
+        return cols, n, c, out_h, out_w
+
+
+class MaxPool2d(_Pool2d):
+    def forward(self, x: Tensor) -> Tensor:
+        cols, n, c, out_h, out_w = self._unfold(x)
+        pooled = cols.max(axis=0)
+        pooled = pooled.reshape(out_h * out_w, n * c)
+        return pooled.transpose((1, 0)).reshape(n, c, out_h, out_w)
+
+
+class AvgPool2d(_Pool2d):
+    def forward(self, x: Tensor) -> Tensor:
+        cols, n, c, out_h, out_w = self._unfold(x)
+        pooled = cols.mean(axis=0)
+        pooled = pooled.reshape(out_h * out_w, n * c)
+        return pooled.transpose((1, 0)).reshape(n, c, out_h, out_w)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the full spatial extent → ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))
+
+
+class Downsample2d(Module):
+    """Strided 1×1 convolution halving the spatial resolution.
+
+    This is the "downsampling" operation in the header search space; it is
+    the standard parameterized alternative to pooling.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        stride: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(channels, channels, kernel_size=1, stride=stride, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(x)

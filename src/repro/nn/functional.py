@@ -1,0 +1,188 @@
+"""Fused differentiable operations built on :mod:`repro.nn.tensor`.
+
+These cover the numerically-sensitive compound ops (softmax, losses,
+layer normalization) with hand-derived backward passes where fusing is
+materially faster or more stable than composing primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax = s * (grad - sum(grad * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Cross-entropy between ``logits`` ``(N, C)`` and integer ``targets`` ``(N,)``.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalized class scores.
+    targets:
+        Integer class indices (plain numpy array, no gradient).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} incompatible with logits {logits.shape}")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    losses = -log_probs[np.arange(n), targets]
+
+    if reduction == "mean":
+        out_data = np.asarray(losses.mean())
+        scale = 1.0 / n
+    elif reduction == "sum":
+        out_data = np.asarray(losses.sum())
+        scale = 1.0
+    elif reduction == "none":
+        out_data = losses
+        scale = None
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    soft = np.exp(log_probs)
+
+    def backward(grad: np.ndarray) -> None:
+        g = soft.copy()
+        g[np.arange(n), targets] -= 1.0
+        if scale is None:
+            g = g * np.asarray(grad).reshape(n, 1)
+        else:
+            g = g * (np.asarray(grad) * scale)
+        logits._accumulate(g)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
+    """Mean squared error; ``target`` may be a tensor or plain array."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    sq = diff * diff
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    if reduction == "none":
+        return sq
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def layer_norm(
+    x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5
+) -> Tensor:
+    """Layer normalization over the last axis with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x.data - mu) * inv_std
+    out_data = x_hat * gamma.data + beta.data
+    d = x.data.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            beta._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            g = grad * gamma.data
+            gx = (
+                g - g.mean(axis=-1, keepdims=True)
+                - x_hat * (g * x_hat).mean(axis=-1, keepdims=True)
+            ) * inv_std
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: at train time scale survivors by ``1/(1-p)``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    return x.gelu()
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def identity(x: Tensor) -> Tensor:
+    return x
+
+
+def accuracy(logits: Tensor, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches ``targets`` (no gradient)."""
+    predictions = logits.data.argmax(axis=-1)
+    return float((predictions == np.asarray(targets)).mean())
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Plain numpy one-hot encoding helper for controller inputs."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,))
+    np.put_along_axis(
+        out.reshape(-1, num_classes),
+        indices.reshape(-1, 1),
+        1.0,
+        axis=1,
+    )
+    return out

@@ -1,0 +1,64 @@
+"""Weight initialization schemes.
+
+Each initializer takes an explicit :class:`numpy.random.Generator` so that
+every experiment in the reproduction is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for ``(fan_in, fan_out)`` weights."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialization, suited to ReLU-family activations."""
+    fan_in, _fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def truncated_normal(shape, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Normal samples re-drawn until within two standard deviations.
+
+    This matches the initializer used by the original ViT implementation.
+    """
+    out = rng.normal(0.0, std, size=shape)
+    bad = np.abs(out) > 2 * std
+    while bad.any():
+        out[bad] = rng.normal(0.0, std, size=int(bad.sum()))
+        bad = np.abs(out) > 2 * std
+    return out
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape) -> tuple:
+    """Compute (fan_in, fan_out) for dense and convolutional shapes."""
+    shape = tuple(shape)
+    if len(shape) < 1:
+        raise ValueError("initializer shapes must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Convolutional kernels: (out_channels, in_channels, kh, kw).
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

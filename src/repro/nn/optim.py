@@ -1,0 +1,128 @@
+"""Gradient-based optimizers.
+
+Plain SGD (with momentum and weight decay) and Adam, operating on lists of
+:class:`~repro.nn.layers.Parameter`.  All state is keyed by parameter
+identity, so parameters can be shared between child models (the ENAS
+weight-sharing scheme) and still receive a single, consistent update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer:
+    """Base class: holds parameters, exposes ``step`` and ``zero_grad``."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        # Deduplicate by identity so shared modules are stepped once.
+        seen = set()
+        self.params: List[Tensor] = []
+        for p in params:
+            if id(p) not in seen:
+                seen.add(id(p))
+                self.params.append(p)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = self._velocity.get(id(p))
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                buf = self.momentum * buf + grad
+                self._velocity[id(p)] = buf
+                grad = buf
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: int = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad**2
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad = p.grad * scale
+    return total

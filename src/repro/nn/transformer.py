@@ -1,0 +1,113 @@
+"""Transformer encoder blocks with maskable width and skippable depth.
+
+The backbone of ACME's reference model θ0 is a stack of these blocks.  Two
+structural degrees of freedom matter to the paper:
+
+* **width** — attention heads and MLP hidden neurons can be masked off
+  (``head_mask`` / ``neuron_mask``), realizing the width factor ``w``;
+* **depth** — whole blocks can be deactivated (``active``), realizing the
+  layer count ``d``.
+
+Both are cheap boolean toggles, so the δ(θ0, w, d) transformation of §II-C
+never rebuilds parameter tensors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, LayerNorm, MLP, Module
+from repro.nn.tensor import Tensor
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm Transformer encoder block (LN → MHSA → LN → MLP)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden = int(embed_dim * mlp_ratio)
+        self.norm1 = LayerNorm(embed_dim)
+        self.attn = MultiHeadSelfAttention(embed_dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(embed_dim)
+        self.mlp = MLP(embed_dim, hidden, embed_dim, activation="gelu", rng=rng)
+        self.drop = Dropout(dropout, seed=int(rng.integers(2**31)))
+        # Depth toggle: inactive layers pass input through untouched.
+        self.active: bool = True
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.active:
+            return x
+        x = x + self.drop(self.attn(self.norm1(x)))
+        x = x + self.drop(self.mlp(self.norm2(x)))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder layers with hidden-state capture for distillation.
+
+    The distillation objective (Eq. 9) matches teacher and student hidden
+    states; ``forward(..., collect_hidden=True)`` returns the per-layer
+    outputs for that purpose.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        embed_dim: int,
+        num_heads: int,
+        mlp_ratio: float = 4.0,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.depth = depth
+        self.layers: List[TransformerEncoderLayer] = []
+        for i in range(depth):
+            layer = TransformerEncoderLayer(
+                embed_dim, num_heads, mlp_ratio=mlp_ratio, dropout=dropout, rng=rng
+            )
+            self.register_module(f"block{i}", layer)
+            self.layers.append(layer)
+
+    def active_depth(self) -> int:
+        return sum(1 for layer in self.layers if layer.active)
+
+    def set_active_depth(self, depth: int) -> None:
+        """Keep the first ``depth`` blocks active; deactivate the rest."""
+        if not 1 <= depth <= self.depth:
+            raise ValueError(f"depth must be in [1, {self.depth}], got {depth}")
+        for i, layer in enumerate(self.layers):
+            layer.active = i < depth
+
+    def forward(self, x: Tensor, collect_hidden: bool = False):
+        hidden: List[Tensor] = []
+        for layer in self.layers:
+            x = layer(x)
+            if collect_hidden and layer.active:
+                hidden.append(x)
+        if collect_hidden:
+            return x, hidden
+        return x
+
+    def penultimate_and_final(self, x: Tensor):
+        """Outputs of the last two *active* layers (header inputs, Fig. 5)."""
+        outputs: List[Tensor] = []
+        for layer in self.layers:
+            x = layer(x)
+            if layer.active:
+                outputs.append(x)
+        if len(outputs) >= 2:
+            return outputs[-2], outputs[-1]
+        return outputs[-1], outputs[-1]

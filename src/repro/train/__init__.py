@@ -1,0 +1,13 @@
+"""Training and evaluation loops."""
+
+from repro.train.evaluate import evaluate_header, evaluate_model
+from repro.train.trainer import TrainConfig, TrainReport, train_header, train_model
+
+__all__ = [
+    "TrainConfig",
+    "TrainReport",
+    "evaluate_header",
+    "evaluate_model",
+    "train_header",
+    "train_model",
+]

@@ -1,0 +1,65 @@
+"""Evaluation helpers: accuracy and loss over datasets."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.headers import BackboneFeatures, Header
+from repro.models.vit import VisionTransformer
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+def evaluate_model(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    max_batches: Optional[int] = None,
+) -> dict:
+    """Accuracy and mean loss of an end-to-end model."""
+    loader = DataLoader(
+        dataset, batch_size=batch_size, shuffle=False, rng=np.random.default_rng(0)
+    )
+    model.eval()
+    correct, total, loss_sum = 0, 0, 0.0
+    for batch_idx, (images, labels) in enumerate(loader):
+        if max_batches is not None and batch_idx >= max_batches:
+            break
+        logits = model(Tensor(images))
+        loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
+        correct += int((logits.data.argmax(axis=-1) == labels).sum())
+        total += labels.shape[0]
+    if total == 0:
+        raise ValueError("no samples evaluated")
+    return {"accuracy": correct / total, "loss": loss_sum / total, "samples": total}
+
+
+def evaluate_header(
+    backbone: VisionTransformer,
+    header: Header,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    max_batches: Optional[int] = None,
+) -> dict:
+    """Accuracy and mean loss of a (backbone, header) pair."""
+    loader = DataLoader(
+        dataset, batch_size=batch_size, shuffle=False, rng=np.random.default_rng(0)
+    )
+    header.eval()
+    correct, total, loss_sum = 0, 0, 0.0
+    for batch_idx, (images, labels) in enumerate(loader):
+        if max_batches is not None and batch_idx >= max_batches:
+            break
+        cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+        features = BackboneFeatures(cls.detach(), tokens.detach(), penult.detach())
+        logits = header(features)
+        loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
+        correct += int((logits.data.argmax(axis=-1) == labels).sum())
+        total += labels.shape[0]
+    if total == 0:
+        raise ValueError("no samples evaluated")
+    return {"accuracy": correct / total, "loss": loss_sum / total, "samples": total}

@@ -1,0 +1,132 @@
+"""Generic training loops for (backbone, header) models and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.header_dag import DAGHeader
+from repro.models.headers import BackboneFeatures, Header
+from repro.models.vit import VisionTransformer
+from repro.nn import functional as F
+from repro.nn.layers import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters shared by the training helpers."""
+
+    epochs: int = 3
+    batch_size: int = 32
+    lr: float = 1e-3
+    grad_clip: float = 5.0
+    max_batches_per_epoch: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass
+class TrainReport:
+    """Loss/accuracy trace of a training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    epoch_accuracies: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.epoch_accuracies[-1] if self.epoch_accuracies else float("nan")
+
+
+def train_model(
+    model: Module,
+    dataset: ArrayDataset,
+    config: Optional[TrainConfig] = None,
+) -> TrainReport:
+    """Train an end-to-end model (``forward(images) -> logits``)."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    report = TrainReport()
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+
+    model.train()
+    for _epoch in range(config.epochs):
+        losses, correct, total = [], 0, 0
+        for batch_idx, (images, labels) in enumerate(loader):
+            if (
+                config.max_batches_per_epoch is not None
+                and batch_idx >= config.max_batches_per_epoch
+            ):
+                break
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.params, config.grad_clip)
+            optimizer.step()
+            losses.append(float(loss.data))
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += labels.shape[0]
+        report.epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+        report.epoch_accuracies.append(correct / max(1, total))
+    model.eval()
+    return report
+
+
+def train_header(
+    backbone: VisionTransformer,
+    header: Header,
+    dataset: ArrayDataset,
+    config: Optional[TrainConfig] = None,
+    freeze_backbone: bool = True,
+) -> TrainReport:
+    """Train a header on top of a backbone.
+
+    With ``freeze_backbone=True`` (the Phase 2-2 setting) backbone features
+    are detached so only header parameters receive gradients.
+    """
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    params = header.parameters()
+    if not freeze_backbone:
+        params = params + backbone.parameters()
+    optimizer = Adam(params, lr=config.lr)
+    report = TrainReport()
+    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+
+    header.train()
+    for _epoch in range(config.epochs):
+        losses, correct, total = [], 0, 0
+        for batch_idx, (images, labels) in enumerate(loader):
+            if (
+                config.max_batches_per_epoch is not None
+                and batch_idx >= config.max_batches_per_epoch
+            ):
+                break
+            cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+            if freeze_backbone:
+                cls, tokens, penult = cls.detach(), tokens.detach(), penult.detach()
+            features = BackboneFeatures(cls, tokens, penult)
+            logits = header(features)
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            clip_grad_norm(optimizer.params, config.grad_clip)
+            optimizer.step()
+            if isinstance(header, DAGHeader):
+                header.reapply_mask()
+            losses.append(float(loss.data))
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += labels.shape[0]
+        report.epoch_losses.append(float(np.mean(losses)) if losses else float("nan"))
+        report.epoch_accuracies.append(correct / max(1, total))
+    header.eval()
+    return report

@@ -1,0 +1,175 @@
+"""Tests for Wasserstein/JS similarity (Eqs. 19-20, Fig. 10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    build_similarity_matrix,
+    distance_matrix,
+    extract_features,
+    js_divergence,
+    regularize_similarity,
+    similarity_from_distances,
+    sliced_wasserstein,
+)
+
+RNG = np.random.default_rng(71)
+
+
+class TestSlicedWasserstein:
+    def test_zero_for_identical(self):
+        a = RNG.normal(size=(30, 4))
+        assert sliced_wasserstein(a, a.copy()) == pytest.approx(0.0, abs=1e-10)
+
+    def test_detects_mean_shift(self):
+        a = RNG.normal(size=(100, 4))
+        b = a + 3.0
+        assert sliced_wasserstein(a, b) > 1.0
+
+    def test_symmetry(self):
+        a = RNG.normal(size=(40, 3))
+        b = RNG.normal(size=(40, 3)) + 1.0
+        ab = sliced_wasserstein(a, b, seed=5)
+        ba = sliced_wasserstein(b, a, seed=5)
+        assert ab == pytest.approx(ba, rel=1e-9)
+
+    def test_monotone_in_shift(self):
+        a = RNG.normal(size=(80, 3))
+        near = sliced_wasserstein(a, a + 0.5, seed=1)
+        far = sliced_wasserstein(a, a + 2.0, seed=1)
+        assert far > near
+
+    def test_1d_matches_scipy_exactly(self):
+        from scipy.stats import wasserstein_distance
+
+        a = RNG.normal(size=(50, 1))
+        b = RNG.normal(size=(50, 1)) + 1.0
+        ours = sliced_wasserstein(a, b, num_projections=8, seed=0)
+        # In 1-D every unit projection is ±identity; distance is unchanged.
+        exact = wasserstein_distance(a[:, 0], b[:, 0])
+        assert ours == pytest.approx(exact, rel=1e-9)
+
+    def test_p2_supported(self):
+        a = RNG.normal(size=(30, 2))
+        assert sliced_wasserstein(a, a + 1.0, p=2) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sliced_wasserstein(np.zeros((3, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            sliced_wasserstein(np.zeros((3, 2)), np.zeros((3, 2)), p=0)
+
+
+class TestJSDivergence:
+    def test_zero_for_identical(self):
+        a = RNG.normal(size=(50, 3))
+        assert js_divergence(a, a.copy()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded_by_log2(self):
+        a = RNG.normal(size=(50, 3))
+        b = RNG.normal(size=(50, 3)) + 100.0
+        assert 0 <= js_divergence(a, b) <= np.log(2) + 1e-9
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            js_divergence(np.zeros((3, 2)), np.zeros((3, 4)))
+
+
+class TestSimilarityMatrices:
+    def test_distance_matrix_properties(self):
+        feats = [RNG.normal(size=(20, 3)) + i for i in range(4)]
+        d = distance_matrix(feats, metric="wasserstein")
+        assert d.shape == (4, 4)
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_distance_matrix_needs_two(self):
+        with pytest.raises(ValueError):
+            distance_matrix([np.zeros((5, 2))])
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            distance_matrix([np.zeros((5, 2))] * 2, metric="cosine")
+
+    def test_eq19_similarity(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        s = similarity_from_distances(d)
+        np.testing.assert_allclose(s, [[1.0, 0.5], [0.5, 1.0]])
+
+    def test_similarity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            similarity_from_distances(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_regularized_is_row_stochastic(self):
+        s = similarity_from_distances(RNG.random((5, 5)))
+        w = regularize_similarity(s)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+        assert (w > 0).all()
+
+    def test_regularize_validation(self):
+        with pytest.raises(ValueError):
+            regularize_similarity(np.zeros((2, 3)))
+
+    def test_similar_devices_weighted_higher(self):
+        """Fig. 10's premise: same-distribution devices get higher weights."""
+        base = RNG.normal(size=(60, 4))
+        feats = [
+            base + RNG.normal(scale=0.05, size=base.shape),
+            base + RNG.normal(scale=0.05, size=base.shape),
+            base + 5.0,
+        ]
+        w = regularize_similarity(
+            similarity_from_distances(distance_matrix(feats, metric="wasserstein"))
+        )
+        assert w[0, 1] > w[0, 2]
+        assert w[1, 0] > w[1, 2]
+
+
+class TestEndToEnd:
+    def test_fig10_block_structure(self):
+        """Planted 2-group layout: Wasserstein similarity on *pretrained*
+        features recovers the block structure (the Fig. 10 heatmap)."""
+        from repro.data import make_cifar100_like, partition_two_groups
+        from repro.models import ViTConfig, VisionTransformer
+        from repro.train import TrainConfig, train_model
+
+        gen = make_cifar100_like(num_classes=8, image_size=8)
+        data = gen.generate(samples_per_class=30, seed=2)
+        devices = partition_two_groups(data, (3, 2), np.random.default_rng(0))
+        cfg = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=2,
+                        num_heads=4, num_classes=8)
+        model = VisionTransformer(cfg, seed=0)
+        train_model(model, data, TrainConfig(epochs=3, seed=0))
+
+        def block_contrast(metric):
+            w = build_similarity_matrix(model, devices, metric=metric, max_samples=24)
+            same = [w[i, j] for i in range(3) for j in range(3) if i != j]
+            same += [w[i, j] for i in (3, 4) for j in (3, 4) if i != j]
+            cross = [w[i, j] for i in range(3) for j in (3, 4)]
+            cross += [w[i, j] for i in (3, 4) for j in range(3)]
+            return np.mean(same) - np.mean(cross)
+
+        assert block_contrast("wasserstein") > 0
+
+    def test_extract_features_shape(self):
+        from repro.data import make_cifar100_like
+        from repro.models import ViTConfig, VisionTransformer
+
+        gen = make_cifar100_like(num_classes=4, image_size=8)
+        data = gen.generate(samples_per_class=10, seed=1)
+        cfg = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=2,
+                        num_heads=4, num_classes=4)
+        model = VisionTransformer(cfg, seed=0)
+        feats = extract_features(model, data, max_samples=12)
+        assert feats.shape == (12, 16)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 5))
+def test_property_regularized_rows_sum_to_one(n):
+    rng = np.random.default_rng(n)
+    s = similarity_from_distances(np.abs(rng.normal(size=(n, n))))
+    w = regularize_similarity(s)
+    np.testing.assert_allclose(w.sum(axis=1), np.ones(n), atol=1e-9)

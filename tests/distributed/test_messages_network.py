@@ -1,0 +1,129 @@
+"""Tests for protocol messages and the accounting network."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset
+from repro.distributed import Message, MessageKind, Network, payload_nbytes
+
+
+class TestPayloadAccounting:
+    def test_array_payload(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes({"x": arr}) == 800
+
+    def test_float32_is_half(self):
+        assert payload_nbytes({"x": np.zeros(100, dtype=np.float32)}) == 400
+
+    def test_state_dict_payload(self):
+        state = {"w": np.zeros((10, 10)), "b": np.zeros(10)}
+        size = payload_nbytes({"state": state})
+        assert size >= 880  # arrays + manifest
+
+    def test_dataset_payload_uses_nbytes(self):
+        ds = ArrayDataset(np.zeros((4, 1, 2, 2)), np.zeros(4, dtype=int), 2)
+        assert payload_nbytes({"dataset": ds}) == ds.nbytes()
+
+    def test_scalar_metadata_is_cheap(self):
+        size = payload_nbytes({"width": 0.5, "depth": 3})
+        assert 0 < size < 100
+
+    def test_array_lists(self):
+        arrays = [np.zeros(10), np.zeros(20)]
+        assert payload_nbytes({"orders": arrays}) >= 240
+
+
+class TestMessage:
+    def test_auto_size(self):
+        msg = Message("a", "b", MessageKind.IMPORTANCE_SET, {"q": np.zeros(50)})
+        assert msg.nbytes == 400
+
+    def test_explicit_size_preserved(self):
+        msg = Message("a", "b", MessageKind.ACK, nbytes=7)
+        assert msg.nbytes == 7
+
+    def test_sequence_monotone(self):
+        a = Message("a", "b", MessageKind.ACK, nbytes=1)
+        b = Message("a", "b", MessageKind.ACK, nbytes=1)
+        assert b.sequence > a.sequence
+
+    def test_upload_classification(self):
+        assert MessageKind.CLUSTER_STATS.is_upload
+        assert MessageKind.IMPORTANCE_SET.is_upload
+        assert MessageKind.DATASET_UPLOAD.is_upload
+        assert not MessageKind.BACKBONE_ASSIGNMENT.is_upload
+        assert not MessageKind.MODEL_DISTRIBUTION.is_upload
+        assert not MessageKind.PERSONALIZED_SET.is_upload
+
+
+class TestNetwork:
+    def test_routing(self):
+        net = Network()
+        received = []
+        net.register("sink", lambda m: received.append(m))
+        net.send(Message("src", "sink", MessageKind.ACK, nbytes=5))
+        assert len(received) == 1
+
+    def test_unknown_receiver(self):
+        net = Network()
+        with pytest.raises(KeyError):
+            net.send(Message("a", "nowhere", MessageKind.ACK, nbytes=1))
+
+    def test_duplicate_registration(self):
+        net = Network()
+        net.register("x", lambda m: None)
+        with pytest.raises(ValueError):
+            net.register("x", lambda m: None)
+
+    def test_stats_accumulate(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.send(Message("a", "sink", MessageKind.IMPORTANCE_SET, {"q": np.zeros(10)}))
+        net.send(Message("a", "sink", MessageKind.PERSONALIZED_SET, {"q": np.zeros(10)}))
+        assert net.stats.message_count == 2
+        assert net.stats.upload_bytes == 80
+        assert net.stats.download_bytes == 80
+        assert net.stats.total_bytes == 160
+
+    def test_by_kind_and_pair(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=3))
+        net.send(Message("b", "sink", MessageKind.ACK, nbytes=4))
+        assert net.stats.by_kind["ack"] == 7
+        assert net.stats.by_pair[("a", "sink")] == 3
+        assert net.stats.by_pair[("b", "sink")] == 4
+
+    def test_kind_sequence(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.send(Message("a", "sink", MessageKind.CLUSTER_STATS, nbytes=1))
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        assert net.kind_sequence() == ["cluster_stats", "ack"]
+
+    def test_reset(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=3))
+        net.reset_stats()
+        assert net.stats.total_bytes == 0
+        assert net.log == []
+
+    def test_nested_send_in_handler(self):
+        """Handlers may send follow-up messages (cloud replies to edges)."""
+        net = Network()
+        net.register("b", lambda m: None)
+
+        def relay(message):
+            net.send(Message("a", "b", MessageKind.ACK, nbytes=2))
+
+        net.register("a", relay)
+        net.send(Message("x", "a", MessageKind.CLUSTER_STATS, nbytes=1))
+        assert net.stats.message_count == 2
+
+    def test_megabyte_helpers(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.send(Message("a", "sink", MessageKind.DATASET_UPLOAD, nbytes=2_000_000))
+        assert net.stats.upload_megabytes() == pytest.approx(2.0)
+        assert net.stats.total_megabytes() == pytest.approx(2.0)

@@ -1,0 +1,169 @@
+"""Unit tests for cloud/edge/device nodes in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distill import DistillConfig
+from repro.core.header_importance import ImportanceConfig
+from repro.data import make_cifar100_like
+from repro.distributed.cloud import CloudConfig, CloudServer
+from repro.distributed.device import DeviceNode
+from repro.distributed.edge import EdgeConfig, EdgeServer
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.hw.profiles import DeviceProfile, cluster_statistics, make_fleet
+from repro.models import ViTConfig, VisionTransformer
+from repro.models.blocks import BlockSpec, HeaderSpec
+from repro.models.header_dag import DAGHeader
+
+
+@pytest.fixture()
+def env():
+    network = Network()
+    generator = make_cifar100_like(num_classes=6, image_size=8)
+    data = generator.generate(samples_per_class=12, seed=1)
+    config = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=3,
+                       num_heads=4, num_classes=6)
+    reference = VisionTransformer(config, seed=0)
+    cloud = CloudServer(
+        reference, data, network,
+        CloudConfig(pretrain_epochs=1, distill=DistillConfig(epochs=1),
+                    depth_choices=[1, 2, 3], eval_samples=24),
+    )
+    return network, cloud, data, config
+
+
+class TestCloudServer:
+    def test_requires_backbone_generation_before_eval(self, env):
+        _network, cloud, _data, _config = env
+        stats = cluster_statistics(make_fleet(1, 2)[0])
+        with pytest.raises(AssertionError):
+            cloud.evaluate_candidates(stats)
+
+    def test_candidate_grid_size(self, env):
+        _network, cloud, _data, _config = env
+        cloud.pretrain_reference()
+        cloud.generate_dynamic_backbone()
+        stats = cluster_statistics(make_fleet(1, 2)[0])
+        candidates = cloud.evaluate_candidates(stats)
+        assert len(candidates) == 4 * 3  # widths × depths
+
+    def test_loss_cache_reused(self, env):
+        _network, cloud, _data, _config = env
+        cloud.pretrain_reference()
+        cloud.generate_dynamic_backbone()
+        stats = cluster_statistics(make_fleet(1, 2)[0])
+        cloud.evaluate_candidates(stats)
+        cached = dict(cloud._loss_cache)
+        cloud.evaluate_candidates(stats)
+        assert cloud._loss_cache == cached
+
+    def test_customize_respects_storage(self, env):
+        _network, cloud, _data, config = env
+        cloud.pretrain_reference()
+        cloud.generate_dynamic_backbone()
+        fleet = make_fleet(1, 3, storage_levels=(15_000, 20_000, 25_000))[0]
+        stats = cluster_statistics(fleet)
+        chosen = cloud.customize_for_cluster(stats)
+        assert config.zeta(chosen.width, chosen.depth) < 15_000
+
+    def test_rejects_unknown_kind(self, env):
+        network, cloud, _data, _config = env
+        with pytest.raises(ValueError):
+            cloud.handle(Message("x", "cloud", MessageKind.PERSONALIZED_SET, nbytes=1))
+
+    def test_absorbs_dataset_upload(self, env):
+        _network, cloud, data, _config = env
+        reply = cloud.handle(
+            Message("d0", "cloud", MessageKind.DATASET_UPLOAD, {"dataset": data})
+        )
+        assert reply.kind is MessageKind.ACK
+
+
+class TestDeviceNode:
+    def _device(self, network, data):
+        profile = DeviceProfile.synthesize(0, 4, 50_000, np.random.default_rng(0))
+        return DeviceNode(profile, data, network,
+                          importance_config=ImportanceConfig(max_batches_per_epoch=1))
+
+    def test_rejects_unknown_kind(self, env):
+        network, _cloud, data, _config = env
+        device = self._device(network, data)
+        with pytest.raises(ValueError):
+            device.handle(Message("e", device.name, MessageKind.CLUSTER_STATS, nbytes=1))
+
+    def test_importance_round_requires_model(self, env):
+        network, _cloud, data, _config = env
+        device = self._device(network, data)
+        with pytest.raises(AssertionError):
+            device.importance_round()
+
+    def test_model_installation_and_importance(self, env):
+        network, _cloud, data, config = env
+        device = self._device(network, data)
+        backbone = VisionTransformer(config, seed=0)
+        spec = HeaderSpec(blocks=(BlockSpec(0, 1, 1, 3),))
+        header = DAGHeader(config.embed_dim, config.num_patches,
+                           config.num_classes, spec)
+        message = Message(
+            "edge0", device.name, MessageKind.MODEL_DISTRIBUTION,
+            {
+                "vit_config": config,
+                "backbone_state": backbone.state_dict(),
+                "head_orders": [np.arange(4)] * config.depth,
+                "neuron_orders": [np.arange(32)] * config.depth,
+                "width": 0.5,
+                "depth": 2,
+                "header_spec": spec,
+                "header_state": header.state_dict(),
+                "keep_fraction": 0.5,
+            },
+        )
+        reply = device.handle(message)
+        assert reply.kind is MessageKind.ACK
+        assert device.backbone.width == 0.5
+        assert device.backbone.depth == 2
+        assert device.keep_fraction == 0.5
+
+        upload = device.importance_round(include_feature_sample=True)
+        assert upload.kind is MessageKind.IMPORTANCE_SET
+        assert upload.payload["importance"].dtype == np.float32
+        assert "feature_sample" in upload.payload
+
+        # Personalized set prunes the header.
+        q_prime = np.random.default_rng(0).random(
+            device.header.parameter_count()
+        ).astype(np.float32)
+        device.handle(
+            Message("edge0", device.name, MessageKind.PERSONALIZED_SET,
+                    {"importance": q_prime})
+        )
+        assert device.header._parameter_mask is not None
+
+
+class TestEdgeServer:
+    def test_request_backbone_roundtrip(self, env):
+        network, cloud, data, config = env
+        cloud.pretrain_reference()
+        cloud.generate_dynamic_backbone()
+        profiles = make_fleet(1, 2, storage_levels=(30_000, 40_000))[0]
+        devices = [
+            DeviceNode(p, data, network,
+                       importance_config=ImportanceConfig(max_batches_per_epoch=1),
+                       seed=i)
+            for i, p in enumerate(profiles)
+        ]
+        edge = EdgeServer(0, devices, data, network, EdgeConfig())
+        edge.request_backbone()
+        assert edge.backbone is not None
+        assert config.zeta(edge.assigned_width, edge.assigned_depth) < 30_000
+        # Traffic: stats up + assignment down.
+        kinds = network.kind_sequence()
+        assert kinds[0] == "cluster_stats"
+        assert kinds[1] == "backbone_assignment"
+
+    def test_rejects_unknown_kind(self, env):
+        network, _cloud, data, _config = env
+        edge = EdgeServer(7, [], data, network, EdgeConfig())
+        with pytest.raises(ValueError):
+            edge.handle(Message("x", edge.name, MessageKind.ACK, nbytes=1))

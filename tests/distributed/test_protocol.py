@@ -1,0 +1,148 @@
+"""Integration tests: the full three-tier protocol end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ACMEConfig, ACMESystem, MessageKind
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One small but complete system run shared by all protocol tests."""
+    config = ACMEConfig(
+        num_clusters=2,
+        devices_per_cluster=2,
+        num_classes=6,
+        samples_per_class=18,
+        seed=0,
+    )
+    system = ACMESystem(config)
+    result = system.run()
+    return system, result
+
+
+class TestSystemRun:
+    def test_every_device_reports_accuracy(self, run):
+        _system, result = run
+        assert len(result.clusters) == 2
+        for cluster in result.clusters:
+            assert len(cluster.device_accuracies) == 2
+            assert all(0.0 <= a <= 1.0 for a in cluster.device_accuracies)
+
+    def test_learning_beats_chance(self, run):
+        _system, result = run
+        chance = 1.0 / 6
+        assert result.mean_accuracy > chance * 1.5
+
+    def test_assignments_respect_storage(self, run):
+        system, result = run
+        for cluster_result, profiles in zip(result.clusters, system.fleet):
+            zeta = system.config.vit.zeta(cluster_result.width, cluster_result.depth)
+            min_storage = min(p.storage_limit for p in profiles)
+            assert zeta < min_storage
+
+    def test_message_sequence_conformance(self, run):
+        """The protocol of Fig. 3: stats up, backbone down, models down,
+        then alternating importance up / personalized down."""
+        _system, result = run
+        kinds = result.message_kinds
+        # Phase 1 precedes Phase 2 for each edge.
+        first_stats = kinds.index("cluster_stats")
+        first_assignment = kinds.index("backbone_assignment")
+        first_distribution = kinds.index("model_distribution")
+        first_importance = kinds.index("importance_set")
+        assert first_stats < first_assignment < first_distribution < first_importance
+
+    def test_importance_and_personalized_counts_match(self, run):
+        _system, result = run
+        ups = result.message_kinds.count("importance_set")
+        downs = result.message_kinds.count("personalized_set")
+        assert ups == downs
+        # devices × clusters × rounds
+        assert ups == 2 * 2 * 2
+
+    def test_no_dataset_uploads_in_acme(self, run):
+        """Privacy invariant: raw data never traverses the ACME network."""
+        _system, result = run
+        assert "dataset_upload" not in result.message_kinds
+
+    def test_traffic_ledger_consistency(self, run):
+        _system, result = run
+        stats = result.traffic
+        assert stats.total_bytes == stats.upload_bytes + stats.download_bytes
+        assert stats.total_bytes == sum(stats.by_kind.values())
+
+    def test_cluster_similarity_matrices(self, run):
+        system, _result = run
+        for edge in system.edges:
+            w = edge.similarity
+            assert w is not None
+            np.testing.assert_allclose(w.sum(axis=1), 1.0)
+
+    def test_devices_hold_pruned_headers(self, run):
+        system, _result = run
+        for edge in system.edges:
+            for device in edge.devices:
+                assert device.header is not None
+                # A personalized mask was installed; if the searched header
+                # has prunable (non-classifier) parameters, some are gone.
+                assert device.header._parameter_mask is not None
+                assert (
+                    device.header.active_parameter_count()
+                    <= device.header.parameter_count()
+                )
+                prunable = device.header.parameter_count() - _classifier_params(
+                    device.header
+                )
+                if prunable > 0:
+                    assert (
+                        device.header.active_parameter_count()
+                        < device.header.parameter_count()
+                    )
+
+
+def _classifier_params(header):
+    return sum(
+        p.size
+        for name, p in header._unique_named_parameters()
+        if name.startswith("classifier")
+    )
+
+    def test_devices_backbones_match_assignment(self, run):
+        system, result = run
+        for edge, cluster in zip(system.edges, result.clusters):
+            for device in edge.devices:
+                assert device.backbone.width == cluster.width
+                assert device.backbone.depth == cluster.depth
+
+
+class TestCentralizedBaseline:
+    def test_uploads_all_datasets(self, run):
+        system, result = run
+        cs = system.run_centralized_baseline()
+        # Raw dataset bytes plus a few bytes of per-message metadata.
+        assert cs.upload_bytes >= result.centralized_upload_bytes
+        assert cs.upload_bytes < result.centralized_upload_bytes * 1.001
+        assert cs.by_kind["dataset_upload"] == cs.upload_bytes
+
+    def test_acme_uploads_less_than_centralized(self, run):
+        """The Table I headline: ACME uploads a small fraction of CS.
+
+        The scaled-down test config narrows the gap (datasets are tiny);
+        the bench config reproduces the ~6% figure.
+        """
+        _system, result = run
+        assert result.traffic.upload_bytes < result.centralized_upload_bytes * 5
+
+
+class TestConfigDefaults:
+    def test_default_construction(self):
+        config = ACMEConfig()
+        assert config.vit.num_classes == config.num_classes
+        assert config.edge.nas.train_backbone is False
+
+    def test_result_nan_on_empty(self):
+        from repro.distributed import ACMERunResult, TrafficStats
+
+        empty = ACMERunResult([], TrafficStats(), 0, [])
+        assert np.isnan(empty.mean_accuracy)

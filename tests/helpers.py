@@ -1,0 +1,78 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(
+    build: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> None:
+    """Compare autograd gradients against finite differences.
+
+    ``build`` maps an input tensor to a scalar loss tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    tensor = Tensor(x.copy(), requires_grad=True)
+    loss = build(tensor)
+    assert loss.size == 1, "check_gradient requires a scalar loss"
+    loss.backward()
+    analytic = tensor.grad
+
+    def eval_loss(arr: np.ndarray) -> float:
+        return float(build(Tensor(arr.copy())).data)
+
+    numeric = numerical_gradient(eval_loss, x)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def parameter_gradient_check(
+    module, forward: Callable[[], Tensor], params: Sequence, atol=1e-5, rtol=1e-4
+) -> None:
+    """Finite-difference check for a module's parameters.
+
+    ``forward`` recomputes the scalar loss from scratch (capturing the
+    module by closure); each parameter in ``params`` is perturbed in place.
+    """
+    loss = forward()
+    module.zero_grad()
+    loss.backward()
+    analytic = [p.grad.copy() for p in params]
+
+    for p, expected in zip(params, analytic):
+        def eval_loss(arr: np.ndarray) -> float:
+            saved = p.data
+            p.data = arr
+            value = float(forward().data)
+            p.data = saved
+            return value
+
+        numeric = numerical_gradient(eval_loss, p.data.copy())
+        np.testing.assert_allclose(expected, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,63 @@
+"""Tests for the lightweight ViT baselines of Fig. 7(a)."""
+
+import numpy as np
+import pytest
+
+from repro.models import BASELINE_BUILDERS, build_baseline
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(51)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("name", sorted(BASELINE_BUILDERS))
+    def test_forward_shape(self, name):
+        model = build_baseline(name, num_classes=7)
+        out = model(Tensor(RNG.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 7)
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_BUILDERS))
+    def test_trainable(self, name):
+        model = build_baseline(name, num_classes=4)
+        out = model(Tensor(RNG.normal(size=(1, 3, 16, 16))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError):
+            build_baseline("resnet-1k")
+
+    def test_devit_variants_order_by_size(self):
+        """DeViT > DeDeiT > DeCCT in parameters, as in Fig. 7(a)."""
+        devit = build_baseline("devit", num_classes=10)
+        dedeit = build_baseline("dedeit", num_classes=10)
+        decct = build_baseline("decct", num_classes=10)
+        assert devit.num_parameters() > dedeit.num_parameters() > decct.num_parameters()
+
+    def test_efficient_vit_is_smallest(self):
+        sizes = {
+            name: build_baseline(name, num_classes=10).num_parameters()
+            for name in BASELINE_BUILDERS
+        }
+        assert sizes["efficient_vit"] == min(sizes.values())
+
+    def test_names_for_reporting(self):
+        assert build_baseline("efficient_vit").name == "Efficient-ViT"
+        assert build_baseline("devit").name == "DeViT"
+
+    def test_unknown_devit_variant(self):
+        from repro.models import DecomposedViT
+
+        with pytest.raises(ValueError):
+            DecomposedViT(variant="dellama")
+
+    def test_baselines_learn(self):
+        """Every baseline must fit a tiny problem (substrate sanity)."""
+        from repro.data import make_cifar100_like
+        from repro.train import evaluate_model, train_model, TrainConfig
+
+        data = make_cifar100_like(num_classes=4, image_size=16).generate(10, seed=1)
+        model = build_baseline("efficient_vit", num_classes=4)
+        train_model(model, data, TrainConfig(epochs=4, batch_size=16, seed=0))
+        metrics = evaluate_model(model, data)
+        assert metrics["accuracy"] > 0.5

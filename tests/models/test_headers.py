@@ -1,0 +1,116 @@
+"""Tests for fixed headers and the BackboneFeatures contract."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BackboneFeatures,
+    FIXED_HEADERS,
+    ViTConfig,
+    VisionTransformer,
+    build_fixed_header,
+)
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(31)
+EMBED, PATCHES, CLASSES = 16, 16, 5
+
+
+def features(n=2):
+    return BackboneFeatures(
+        cls=Tensor(RNG.normal(size=(n, EMBED))),
+        tokens=Tensor(RNG.normal(size=(n, PATCHES, EMBED))),
+        penultimate=Tensor(RNG.normal(size=(n, PATCHES, EMBED))),
+    )
+
+
+class TestBackboneFeatures:
+    def test_grid_size(self):
+        assert features().grid_size == 4
+
+    def test_non_square_grid_rejected(self):
+        bad = BackboneFeatures(
+            cls=Tensor(RNG.normal(size=(1, EMBED))),
+            tokens=Tensor(RNG.normal(size=(1, 7, EMBED))),
+            penultimate=Tensor(RNG.normal(size=(1, 7, EMBED))),
+        )
+        with pytest.raises(ValueError):
+            bad.grid_size
+
+    def test_tokens_as_map_layout(self):
+        f = features(1)
+        m = f.tokens_as_map()
+        assert m.shape == (1, EMBED, 4, 4)
+        # Token t maps to spatial position (t // 4, t % 4).
+        np.testing.assert_allclose(m.data[0, :, 0, 1], f.tokens.data[0, 1])
+
+    def test_penultimate_source(self):
+        f = features(1)
+        m = f.tokens_as_map("penultimate")
+        np.testing.assert_allclose(m.data[0, :, 0, 0], f.penultimate.data[0, 0])
+
+    def test_from_real_backbone(self):
+        cfg = ViTConfig(image_size=8, patch_size=2, embed_dim=EMBED, depth=2,
+                        num_heads=4, num_classes=CLASSES)
+        model = VisionTransformer(cfg, seed=0)
+        cls, tokens, penult = model.forward_features_multi(
+            Tensor(RNG.normal(size=(2, 3, 8, 8)))
+        )
+        f = BackboneFeatures(cls, tokens, penult)
+        assert f.grid_size == 4
+
+
+class TestFixedHeaders:
+    @pytest.mark.parametrize("kind", sorted(FIXED_HEADERS))
+    def test_output_shape(self, kind):
+        header = build_fixed_header(kind, EMBED, PATCHES, CLASSES)
+        assert header(features(3)).shape == (3, CLASSES)
+
+    @pytest.mark.parametrize("kind", sorted(FIXED_HEADERS))
+    def test_trainable(self, kind):
+        header = build_fixed_header(kind, EMBED, PATCHES, CLASSES)
+        out = header(features(2))
+        out.sum().backward()
+        grads = [p.grad for p in header.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_fixed_header("transformer-xxl", EMBED, PATCHES, CLASSES)
+
+    def test_relative_sizes(self):
+        """CNN-style headers are bigger than Linear — the Fig. 8 premise."""
+        linear = build_fixed_header("linear", EMBED, PATCHES, CLASSES)
+        cnn = build_fixed_header("cnn", EMBED, PATCHES, CLASSES)
+        mlp = build_fixed_header("mlp", EMBED, PATCHES, CLASSES)
+        assert linear.num_parameters() < mlp.num_parameters() < cnn.num_parameters()
+
+    def test_linear_header_uses_only_cls(self):
+        header = build_fixed_header("linear", EMBED, PATCHES, CLASSES)
+        f1 = features(1)
+        f2 = BackboneFeatures(
+            cls=f1.cls,
+            tokens=Tensor(RNG.normal(size=(1, PATCHES, EMBED))),
+            penultimate=f1.penultimate,
+        )
+        np.testing.assert_allclose(header(f1).data, header(f2).data)
+
+    def test_pool_header_ignores_cls(self):
+        header = build_fixed_header("pool", EMBED, PATCHES, CLASSES)
+        f1 = features(1)
+        f2 = BackboneFeatures(
+            cls=Tensor(RNG.normal(size=(1, EMBED))),
+            tokens=f1.tokens,
+            penultimate=f1.penultimate,
+        )
+        np.testing.assert_allclose(header(f1).data, header(f2).data)
+
+    def test_hybrid_uses_both(self):
+        header = build_fixed_header("hybrid", EMBED, PATCHES, CLASSES)
+        f1 = features(1)
+        other_cls = BackboneFeatures(
+            cls=Tensor(RNG.normal(size=(1, EMBED))),
+            tokens=f1.tokens,
+            penultimate=f1.penultimate,
+        )
+        assert not np.allclose(header(f1).data, header(other_cls).data)

@@ -1,0 +1,115 @@
+"""Tests for the multi-exit / early-exit ViT."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_cifar100_like
+from repro.models import ViTConfig, VisionTransformer
+from repro.models.multi_exit import MultiExitViT
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(81)
+
+
+def make_model(depth=4, exits=(2,)):
+    cfg = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=depth,
+                    num_heads=4, num_classes=5)
+    backbone = VisionTransformer(cfg, seed=0)
+    return MultiExitViT(backbone, exit_layers=exits, seed=0), cfg
+
+
+class TestConstruction:
+    def test_final_layer_always_an_exit(self):
+        model, _cfg = make_model(depth=4, exits=(2,))
+        assert model.exit_layers == [2, 4]
+
+    def test_duplicate_exits_deduplicated(self):
+        model, _cfg = make_model(depth=4, exits=(2, 2, 4))
+        assert model.exit_layers == [2, 4]
+
+    def test_invalid_exit_layer(self):
+        with pytest.raises(ValueError):
+            make_model(depth=3, exits=(5,))
+
+    def test_respects_scaled_depth(self):
+        cfg = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=6,
+                        num_heads=4, num_classes=5)
+        backbone = VisionTransformer(cfg, seed=0)
+        backbone.set_depth(3)
+        model = MultiExitViT(backbone, exit_layers=(1,))
+        assert model.exit_layers == [1, 3]
+
+
+class TestForward:
+    def test_all_exits_shapes(self):
+        model, cfg = make_model()
+        x = Tensor(RNG.normal(size=(3, 3, 8, 8)))
+        outputs = model.forward_all_exits(x)
+        assert len(outputs) == 2
+        assert all(o.shape == (3, 5) for o in outputs)
+
+    def test_forward_is_last_exit(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(2, 3, 8, 8)))
+        np.testing.assert_allclose(
+            model(x).data, model.forward_all_exits(x)[-1].data
+        )
+
+    def test_exits_differ(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(2, 3, 8, 8)))
+        a, b = model.forward_all_exits(x)
+        assert not np.allclose(a.data, b.data)
+
+    def test_joint_loss_backward(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(4, 3, 8, 8)))
+        loss = model.joint_loss(x, np.array([0, 1, 2, 3]))
+        loss.backward()
+        # Both exit headers and the backbone receive gradients.
+        assert model.headers[0].parameters()[0].grad is not None
+        assert model.headers[1].parameters()[0].grad is not None
+        assert model.backbone.patch_embed.proj.weight.grad is not None
+
+
+class TestEarlyExit:
+    def test_threshold_validation(self):
+        model, _cfg = make_model()
+        with pytest.raises(ValueError):
+            model.predict_early_exit(Tensor(RNG.normal(size=(1, 3, 8, 8))), threshold=0.0)
+
+    def test_every_sample_answered(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(6, 3, 8, 8)))
+        result = model.predict_early_exit(x, threshold=0.99)
+        assert (result.predictions >= 0).all()
+        assert result.exit_indices.shape == (6,)
+
+    def test_low_threshold_exits_early(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(8, 3, 8, 8)))
+        eager = model.predict_early_exit(x, threshold=1e-6)
+        assert (eager.exit_indices == 0).all()
+
+    def test_mean_exit_depth(self):
+        model, _cfg = make_model()
+        x = Tensor(RNG.normal(size=(4, 3, 8, 8)))
+        eager = model.predict_early_exit(x, threshold=1e-6)
+        assert eager.mean_exit_depth(model.exit_layers) == 2.0
+
+    def test_training_improves_early_accuracy(self):
+        """Joint training makes the early exit usable — the §V premise."""
+        gen = make_cifar100_like(num_classes=5, image_size=8)
+        data = gen.generate(samples_per_class=20, seed=1)
+        model, _cfg = make_model(depth=4, exits=(2,))
+        opt = Adam(model.parameters(), lr=2e-3)
+        x = Tensor(data.images)
+        before = (model.forward_all_exits(x)[0].data.argmax(-1) == data.labels).mean()
+        for _ in range(25):
+            opt.zero_grad()
+            loss = model.joint_loss(x, data.labels)
+            loss.backward()
+            opt.step()
+        after = (model.forward_all_exits(x)[0].data.argmax(-1) == data.labels).mean()
+        assert after > max(before, 0.5)

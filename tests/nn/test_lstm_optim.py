@@ -1,0 +1,159 @@
+"""Tests for the LSTM controller substrate and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.lstm import LSTM, LSTMCell
+from repro.nn.optim import Adam, SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(17)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self):
+        cell = LSTMCell(4, 6, rng=RNG)
+        h, c = cell(Tensor(RNG.normal(size=(3, 4))))
+        assert h.shape == (3, 6) and c.shape == (3, 6)
+
+    def test_state_threading(self):
+        cell = LSTMCell(4, 6, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 4)))
+        h1, c1 = cell(x)
+        h2, c2 = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradient_through_time(self):
+        cell = LSTMCell(3, 4, rng=RNG)
+
+        def run(t):
+            h, c = cell(t)
+            h, c = cell(t, (h, c))
+            return (h**2).sum()
+
+        check_gradient(run, RNG.normal(size=(1, 3)), atol=1e-4)
+
+    def test_bounded_hidden_state(self):
+        cell = LSTMCell(2, 3, rng=RNG)
+        h, _c = cell(Tensor(RNG.normal(size=(5, 2)) * 100))
+        assert (np.abs(h.data) <= 1.0).all()
+
+
+class TestLSTM:
+    def test_sequence_shapes(self):
+        lstm = LSTM(5, 8, rng=RNG)
+        h, (hn, cn) = lstm(Tensor(RNG.normal(size=(2, 6, 5))))
+        assert h.shape == (2, 8)
+        assert hn.shape == (2, 8) and cn.shape == (2, 8)
+
+    def test_longer_sequences_change_state(self):
+        lstm = LSTM(3, 4, rng=RNG)
+        x = RNG.normal(size=(1, 8, 3))
+        h_short, _ = lstm(Tensor(x[:, :2]))
+        h_long, _ = lstm(Tensor(x))
+        assert not np.allclose(h_short.data, h_long.data)
+
+    def test_can_fit_parity_task(self):
+        """LSTM learns to classify sequences by sum sign — sanity check."""
+        rng = np.random.default_rng(1)
+        lstm = LSTM(1, 12, rng=rng)
+        head = Linear(12, 2, rng=rng)
+        x = rng.normal(size=(40, 5, 1))
+        y = (x.sum(axis=(1, 2)) > 0).astype(int)
+        opt = Adam(lstm.parameters() + head.parameters(), lr=5e-3)
+        for _ in range(60):
+            opt.zero_grad()
+            h, _ = lstm(Tensor(x))
+            loss = F.cross_entropy(head(h), y)
+            loss.backward()
+            opt.step()
+        h, _ = lstm(Tensor(x))
+        assert F.accuracy(head(h), y) > 0.85
+
+
+class TestSGD:
+    def test_basic_descent(self):
+        p = Tensor(np.array([10.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert abs(p.data.item()) < 0.1
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Tensor(np.array([10.0]), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                (p * p).sum().backward()
+                opt.step()
+            return abs(p.data.item())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero loss gradient
+        opt.step()
+        assert p.data.item() < 1.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no backward yet; must not raise
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_empty_params_and_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (p * p).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 0.05
+
+    def test_bias_correction_first_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.zero_grad()
+        (p * 1.0).sum().backward()  # grad = 1
+        opt.step()
+        # With bias correction, the first step has magnitude ≈ lr.
+        np.testing.assert_allclose(p.data.item(), 1.0 - 0.1, atol=1e-6)
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data.item() < 2.0
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([0.1, 0.1])
+        clip_grad_norm([p], max_norm=5.0)
+        np.testing.assert_allclose(p.grad, [0.1, 0.1])

@@ -1,0 +1,71 @@
+"""Tests for module serialization and byte-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    MLP,
+    Sequential,
+    array_nbytes,
+    json_nbytes,
+    load_state,
+    module_nbytes,
+    save_state,
+    state_dict_nbytes,
+)
+from repro.nn.serialization import compressed_nbytes
+from repro.nn.tensor import Tensor
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        a = Linear(6, 4, rng=np.random.default_rng(1))
+        b = Linear(6, 4, rng=np.random.default_rng(2))
+        path = tmp_path / "weights.npz"
+        save_state(a, path)
+        load_state(b, path)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+        np.testing.assert_allclose(a.bias.data, b.bias.data)
+
+    def test_roundtrip_nested(self, tmp_path):
+        a = Sequential(Linear(4, 8), Linear(8, 2))
+        b = Sequential(Linear(4, 8), Linear(8, 2))
+        for p in a.parameters():
+            p.data = p.data + 1.0
+        path = tmp_path / "nested.npz"
+        save_state(a, path)
+        load_state(b, path)
+        x = Tensor(np.ones((1, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_load_shape_mismatch(self, tmp_path):
+        a = Linear(4, 4)
+        b = Linear(4, 5)
+        path = tmp_path / "bad.npz"
+        save_state(a, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_state(b, path)
+
+
+class TestByteAccounting:
+    def test_state_dict_nbytes(self):
+        layer = Linear(10, 10)  # 100 weights + 10 biases, float64
+        assert state_dict_nbytes(layer.state_dict()) == 110 * 8
+
+    def test_module_nbytes_matches_state_dict(self):
+        mlp = MLP(8, 16, 4)
+        assert module_nbytes(mlp) == state_dict_nbytes(mlp.state_dict())
+
+    def test_array_nbytes(self):
+        assert array_nbytes(np.zeros(10), np.zeros((2, 5), dtype=np.float32)) == 120
+
+    def test_json_nbytes(self):
+        size = json_nbytes({"width": 0.5, "depth": 3})
+        assert 10 < size < 100
+
+    def test_compression_is_a_lower_bound(self):
+        layer = Linear(20, 20, rng=np.random.default_rng(0))
+        state = layer.state_dict()
+        # Compressing structured float data should not exceed raw + header.
+        assert compressed_nbytes(state) < state_dict_nbytes(state) * 1.2

@@ -1,0 +1,228 @@
+"""Gradient and algebra tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, stack, where, zeros, ones
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(42)
+
+
+class TestElementwise:
+    def test_add_broadcast_gradient(self):
+        x = RNG.normal(size=(3, 4))
+        other = Tensor(RNG.normal(size=(4,)))
+        check_gradient(lambda t: ((t + other) ** 2).sum(), x)
+
+    def test_mul_gradient(self):
+        x = RNG.normal(size=(3, 4))
+        other = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda t: (t * other).sum(), x)
+
+    def test_div_gradient(self):
+        x = RNG.normal(size=(3, 4)) + 3.0
+        check_gradient(lambda t: (Tensor(np.ones((3, 4))) / t).sum(), x)
+
+    def test_sub_and_neg(self):
+        x = RNG.normal(size=(5,))
+        check_gradient(lambda t: (-(t - 2.0)).sum(), x)
+
+    def test_pow_gradient(self):
+        x = RNG.normal(size=(4,)) ** 2 + 0.5
+        check_gradient(lambda t: (t**3).sum(), x)
+
+    def test_both_operands_receive_grads(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 4.0])
+        np.testing.assert_allclose(b.grad, [1.0, 2.0])
+
+    def test_reused_tensor_accumulates(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (a * a) + a  # d/da = 2a + 1 = 5
+        loss.sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestUnary:
+    @pytest.mark.parametrize(
+        "op",
+        ["exp", "tanh", "sigmoid", "relu", "gelu", "abs"],
+    )
+    def test_unary_gradients(self, op):
+        x = RNG.normal(size=(3, 5)) + 0.1  # avoid relu/abs kink at 0
+        check_gradient(lambda t: getattr(t, op)().sum(), x)
+
+    def test_log_gradient(self):
+        x = RNG.random((3, 4)) + 0.5
+        check_gradient(lambda t: t.log().sum(), x)
+
+    def test_sqrt_gradient(self):
+        x = RNG.random((6,)) + 0.5
+        check_gradient(lambda t: t.sqrt().sum(), x)
+
+
+class TestReductions:
+    def test_sum_axis_gradient(self):
+        x = RNG.normal(size=(3, 4, 2))
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), x)
+
+    def test_sum_keepdims_gradient(self):
+        x = RNG.normal(size=(3, 4))
+        check_gradient(lambda t: (t.sum(axis=0, keepdims=True) ** 2).sum(), x)
+
+    def test_mean_gradient(self):
+        x = RNG.normal(size=(4, 5))
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), x)
+
+    def test_var_gradient(self):
+        x = RNG.normal(size=(4, 6))
+        check_gradient(lambda t: t.var(axis=1).sum(), x)
+
+    def test_max_gradient_no_ties(self):
+        x = np.arange(12, dtype=float).reshape(3, 4)
+        check_gradient(lambda t: (t.max(axis=1) ** 2).sum(), x)
+
+    def test_max_splits_gradient_among_ties(self):
+        x = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapes:
+    def test_matmul_gradient(self):
+        a = RNG.normal(size=(3, 4))
+        b = Tensor(RNG.normal(size=(4, 2)))
+        check_gradient(lambda t: (t @ b).sum(), a)
+
+    def test_batched_matmul_gradient(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = Tensor(RNG.normal(size=(2, 4, 5)))
+        check_gradient(lambda t: ((t @ b) ** 2).sum(), a)
+
+    def test_matmul_broadcast_batch(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = Tensor(RNG.normal(size=(4, 5)), requires_grad=True)
+        out = Tensor(a, requires_grad=True) @ b
+        out.sum().backward()
+        assert b.grad.shape == (4, 5)
+
+    def test_matmul_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+
+    def test_reshape_gradient(self):
+        x = RNG.normal(size=(2, 6))
+        check_gradient(lambda t: (t.reshape(3, 4) ** 2).sum(), x)
+
+    def test_transpose_gradient(self):
+        x = RNG.normal(size=(2, 3, 4))
+        check_gradient(lambda t: (t.transpose((2, 0, 1)) ** 2).sum(), x)
+
+    def test_swapaxes_roundtrip(self):
+        x = Tensor(RNG.normal(size=(2, 3, 4)))
+        np.testing.assert_allclose(x.swapaxes(1, 2).swapaxes(1, 2).data, x.data)
+
+    def test_getitem_gradient(self):
+        x = RNG.normal(size=(4, 5))
+        check_gradient(lambda t: (t[1:3, ::2] ** 2).sum(), x)
+
+    def test_getitem_advanced_indexing_accumulates(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        x[idx].sum().backward()
+        np.testing.assert_allclose(x.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+    def test_pad_gradient(self):
+        x = RNG.normal(size=(2, 3))
+        check_gradient(lambda t: (t.pad(((1, 1), (2, 0))) ** 2).sum(), x)
+
+    def test_concatenate_gradient(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 2)), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_gradient(self):
+        a = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        (stack([a, b], axis=0) * Tensor(np.array([[1.0, 2, 3], [4, 5, 6]]))).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 2, 3])
+        np.testing.assert_allclose(b.grad, [4, 5, 6])
+
+    def test_where_routes_gradients(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_shape_mismatch(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward(np.ones(4))
+
+    def test_detach_severs_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a.detach() * 3).sum()  # no graph; nothing to backward through
+        assert a.grad is None
+
+    def test_deep_chain_does_not_overflow(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_diamond_graph_gradient(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2
+        b = x * 5
+        (a + b).sum().backward()  # d/dx = 7
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_zeros_ones_helpers(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-10, 10), min_size=1, max_size=8),
+    st.lists(st.floats(-10, 10), min_size=1, max_size=8),
+)
+def test_property_add_commutes(xs, ys):
+    n = min(len(xs), len(ys))
+    a = Tensor(np.array(xs[:n]))
+    b = Tensor(np.array(ys[:n]))
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-5, 5), min_size=2, max_size=10))
+def test_property_sum_linearity(xs):
+    a = Tensor(np.array(xs), requires_grad=True)
+    (a * 3.0).sum().backward()
+    np.testing.assert_allclose(a.grad, np.full(len(xs), 3.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+def test_property_matmul_shape(n, k, m):
+    a = Tensor(np.ones((n, k)))
+    b = Tensor(np.ones((k, m)))
+    out = a @ b
+    assert out.shape == (n, m)
+    np.testing.assert_allclose(out.data, np.full((n, m), float(k)))

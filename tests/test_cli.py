@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.clusters == 2 and args.devices == 3
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy"])
+
+
+class TestCommands:
+    def test_search_space(self, capsys):
+        assert main(["search-space", "--blocks", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["blocks"] == 2
+        # Eq. (14) with |O| = 7: (2²·49)(3²·49).
+        assert payload["architectures"] == (4 * 49) * (9 * 49)
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--fleet", "10"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["N"] == 10
+        assert payload["ratio"] < 0.05
+
+    def test_energy(self, capsys):
+        assert main(["energy", "--vcpus", "4", "--width", "0.5", "--depth", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["energy_joules"] > 0
+        assert payload["power_watts"] > 0
+
+    def test_run_small_system(self, capsys):
+        code = main([
+            "run", "--clusters", "1", "--devices", "2",
+            "--classes", "6", "--samples", "18", "--seed", "0",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["mean_accuracy"] <= 1.0
+        assert payload["upload_mb"] > 0
+        assert len(payload["clusters"]) == 1

@@ -1,0 +1,56 @@
+"""Package-level smoke tests: public API surface and version."""
+
+import importlib
+
+import pytest
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.nn",
+        "repro.data",
+        "repro.models",
+        "repro.hw",
+        "repro.core",
+        "repro.distributed",
+        "repro.train",
+        "repro.cli",
+    ],
+)
+def test_subpackages_importable(module):
+    importlib.import_module(module)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.nn",
+        "repro.data",
+        "repro.models",
+        "repro.hw",
+        "repro.core",
+        "repro.distributed",
+        "repro.train",
+    ],
+)
+def test_all_exports_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ lists missing name {name!r}"
+
+
+def test_core_symbols_are_callable_or_classes():
+    import repro.core as core
+
+    for name in ("generate_backbone", "build_pfg", "select_model",
+                 "compute_importance_set", "prune_by_importance",
+                 "personalized_architecture_aggregation",
+                 "header_search_space_size"):
+        assert callable(getattr(core, name))
