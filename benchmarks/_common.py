@@ -10,10 +10,15 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+#: Version tag of the machine-readable perf payload written by
+#: :func:`emit_perf`; bump when the schema changes shape.
+PERF_SCHEMA = "perf/v1"
 
 
 def emit(name: str, lines: Sequence[str]) -> None:
@@ -29,6 +34,102 @@ def emit_json(name: str, payload) -> None:
     """Persist machine-readable results alongside the text block."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float))
+
+
+def timed(
+    fn: Callable[[], object],
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Dict[str, object]:
+    """``timeit``-style wall-clock measurement of a zero-argument callable.
+
+    Runs ``warmup`` untimed calls, then ``repeats`` timed ones, and
+    reports the **best** time (the standard low-noise estimator) plus the
+    mean and raw samples.  All perf benches report through this helper so
+    numbers stay comparable across PRs.
+    """
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "repeats": repeats,
+        "warmup": warmup,
+        "times_s": times,
+    }
+
+
+def perf_record(
+    label: str,
+    fast: Dict[str, object],
+    baseline: Dict[str, object],
+    floor: Optional[float] = None,
+    **extra,
+) -> Dict[str, object]:
+    """One fast-vs-baseline comparison in the :data:`PERF_SCHEMA` layout."""
+    speedup = float(baseline["best_s"]) / max(float(fast["best_s"]), 1e-12)
+    record = {
+        "label": label,
+        "fast": fast,
+        "baseline": baseline,
+        "speedup": speedup,
+        "floor": floor,
+        **extra,
+    }
+    return record
+
+
+def emit_perf(
+    name: str,
+    records: Sequence[Dict[str, object]],
+    path: Optional[Path] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Persist perf records under ``bench_results/`` (and ``path`` if given).
+
+    Also prints a human-readable table and **asserts every record's
+    ``floor``** so speedup regressions fail loudly in CI-style runs.
+    """
+    payload = {
+        "bench": name,
+        "schema": PERF_SCHEMA,
+        "unix_time": time.time(),
+        "results": list(records),
+    }
+    if extra:
+        payload.update(extra)
+    # The bench_results/ copy is a diagnostic record and is written even
+    # for a failing run.
+    emit_json(name, payload)
+    rows = [
+        (
+            r["label"],
+            float(r["fast"]["best_s"]),
+            float(r["baseline"]["best_s"]),
+            f"{r['speedup']:.2f}x",
+            "-" if r.get("floor") is None else f"{r['floor']:.1f}x",
+        )
+        for r in records
+    ]
+    emit(name, table(["bench", "fast best (s)", "baseline best (s)", "speedup", "floor"], rows))
+    for r in records:
+        floor = r.get("floor")
+        if floor is not None and r["speedup"] < floor:
+            raise AssertionError(
+                f"{name}:{r['label']} speedup {r['speedup']:.2f}x fell below "
+                f"the {floor:.1f}x floor — a perf regression slipped in"
+            )
+    # The canonical trajectory file (e.g. BENCH_perf.json) is only
+    # updated once every floor holds, so a regressed run cannot
+    # overwrite the baseline it is measured against.
+    if path is not None:
+        Path(path).write_text(json.dumps(payload, indent=2, default=float))
+    return payload
 
 
 def table(headers: Sequence[str], rows: Sequence[Sequence]) -> List[str]:

@@ -1,0 +1,216 @@
+"""Perf trajectory bench: the numerical-core fast paths vs the seed engine.
+
+Three comparisons, each asserting a hard speedup floor so regressions
+fail loudly:
+
+* **conv forward** — no-grad float32 forward with a warm im2col index
+  cache vs the seed configuration (float64, tape recorded, indices
+  rebuilt every call).  Floor: 2×.
+* **similarity matrix** — vectorized sliced-Wasserstein (one projection
+  matmul + one sort per feature set, shared across all pairs) vs the
+  per-pair per-projection scipy loop, on an 8-device fleet.  Floor: 3×.
+* **end-to-end system** — a small ``ACMESystem().run()`` in fast mode
+  (float32, no-grad inference routing, caches, vectorized similarity) vs
+  the seed configuration (float64, every forward taped, cold indices,
+  loop similarity).  Floor: 2×.
+
+Results are persisted machine-readably to ``bench_results/`` and to
+``BENCH_perf.json`` at the repo root — the file future perf PRs are
+measured against.
+
+Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
+  or: PYTHONPATH=src python -m pytest benchmarks/bench_perf_hotpaths.py -s
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_perf, perf_record, timed
+
+from repro.core import similarity
+from repro.core.distill import DistillConfig
+from repro.distributed.cloud import CloudConfig
+from repro.distributed.system import ACMEConfig, ACMESystem
+from repro.models import ViTConfig
+from repro.nn import conv as nn_conv
+from repro.nn import tensor as nn_tensor
+from repro.nn.conv import Conv2d
+from repro.nn.tensor import Tensor, no_grad
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Floors asserted by emit_perf — regressions below these fail the bench.
+CONV_FLOOR = 2.0
+SIMILARITY_FLOOR = 3.0
+SYSTEM_FLOOR = 2.0
+
+
+@contextmanager
+def engine_mode(fast: bool):
+    """Pin the engine to the fast path or the seed-equivalent slow path.
+
+    Slow mode reproduces the pre-perf-PR engine: float64 compute, tape
+    recording forced even inside ``no_grad`` regions (which also disables
+    the tape-free conv/pool kernels), ``libm``-pow integer exponents,
+    im2col indices rebuilt on every forward, and the per-pair similarity
+    loops.
+    """
+    previous_dtype = nn_tensor.get_default_dtype()
+    try:
+        if fast:
+            nn_tensor.set_default_dtype("float32")
+            nn_tensor._set_grad_override(None)
+            nn_tensor._set_fast_pow(True)
+            nn_conv.set_im2col_cache_enabled(True)
+            similarity.set_vectorized(True)
+        else:
+            nn_tensor.set_default_dtype("float64")
+            nn_tensor._set_grad_override(True)
+            nn_tensor._set_fast_pow(False)
+            nn_conv.set_im2col_cache_enabled(False)
+            similarity.set_vectorized(False)
+        nn_conv.clear_im2col_cache()
+        yield
+    finally:
+        nn_tensor.set_default_dtype(previous_dtype)
+        nn_tensor._set_grad_override(None)
+        nn_tensor._set_fast_pow(True)
+        nn_conv.set_im2col_cache_enabled(True)
+        similarity.set_vectorized(True)
+
+
+# ----------------------------------------------------------------------
+def bench_conv_forward():
+    """3×3 conv forward over a (8, 16, 16, 16) activation batch."""
+    x = np.random.default_rng(0).normal(size=(8, 16, 16, 16))
+
+    def run_mode(fast: bool):
+        with engine_mode(fast):
+            conv = Conv2d(16, 16, kernel_size=3, padding=1, rng=np.random.default_rng(1))
+            t = Tensor(x)  # cast to the mode's dtype once, outside the timer
+
+            def step():
+                with no_grad():
+                    conv(t)
+
+            return timed(step, repeats=20, warmup=3)
+
+    return perf_record(
+        "conv_forward_warm_cache",
+        fast=run_mode(True),
+        baseline=run_mode(False),
+        floor=CONV_FLOOR,
+        shape=[8, 16, 16, 16],
+        kernel=3,
+    )
+
+
+def bench_similarity_matrix():
+    """8-device Wasserstein distance matrix (64×32 feature clouds)."""
+    rng = np.random.default_rng(7)
+    feats = [rng.normal(size=(64, 32)) + 0.3 * i for i in range(8)]
+
+    def run_mode(fast: bool):
+        with engine_mode(fast):
+            return timed(
+                lambda: similarity.distance_matrix(feats, metric="wasserstein", seed=0),
+                repeats=5,
+                warmup=1,
+            )
+
+    fast, slow = run_mode(True), run_mode(False)
+    # Both paths must agree numerically, not just be fast.
+    with engine_mode(True):
+        d_fast = similarity.distance_matrix(feats, seed=0)
+    with engine_mode(False):
+        d_slow = similarity.distance_matrix(feats, seed=0)
+    np.testing.assert_allclose(d_fast, d_slow, rtol=1e-9, atol=1e-12)
+    return perf_record(
+        "similarity_matrix_8_devices",
+        fast=fast,
+        baseline=slow,
+        floor=SIMILARITY_FLOOR,
+        devices=8,
+        samples=64,
+        dims=32,
+    )
+
+
+def _small_system_config(compute_dtype: str) -> ACMEConfig:
+    vit = ViTConfig(num_classes=6, depth=3, embed_dim=32, num_heads=4)
+    return ACMEConfig(
+        num_clusters=1,
+        devices_per_cluster=3,
+        num_classes=6,
+        samples_per_class=40,
+        public_samples_per_class=20,
+        vit=vit,
+        cloud=CloudConfig(
+            depth_choices=[1, 2, 3],
+            pretrain_epochs=2,
+            distill=DistillConfig(epochs=1, seed=0),
+            seed=0,
+        ),
+        compute_dtype=compute_dtype,
+        seed=0,
+    )
+
+
+def bench_system_run():
+    """End-to-end ``ACMESystem().run()`` on a 1-cluster, 3-device config.
+
+    Construction (data generation, node wiring) happens outside the
+    timer; the timed region is the full Fig. 4 pipeline.  One timed run
+    per mode — the pipeline is long enough that per-run noise is small
+    relative to the asserted 2× floor.
+    """
+
+    def run_mode(fast: bool):
+        with engine_mode(fast):
+            system = ACMESystem(_small_system_config("float32" if fast else "float64"))
+            result_box = {}
+
+            def step():
+                result_box["result"] = system.run()
+
+            measurement = timed(step, repeats=1, warmup=0)
+        return measurement, result_box["result"]
+
+    fast, fast_result = run_mode(True)
+    slow, slow_result = run_mode(False)
+    return perf_record(
+        "acme_system_run_small",
+        fast=fast,
+        baseline=slow,
+        floor=SYSTEM_FLOOR,
+        fast_mean_accuracy=fast_result.mean_accuracy,
+        baseline_mean_accuracy=slow_result.mean_accuracy,
+    )
+
+
+def run_bench():
+    records = [
+        bench_conv_forward(),
+        bench_similarity_matrix(),
+        bench_system_run(),
+    ]
+    return emit_perf(
+        "bench_perf_hotpaths",
+        records,
+        path=REPO_ROOT / "BENCH_perf.json",
+    )
+
+
+def test_perf_hotpaths():
+    run_bench()
+
+
+if __name__ == "__main__":
+    run_bench()

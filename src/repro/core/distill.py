@@ -23,7 +23,7 @@ from repro.data.dataset import ArrayDataset, DataLoader
 from repro.models.vit import VisionTransformer
 from repro.nn import functional as F
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
 
 @dataclass
@@ -112,7 +112,10 @@ def distill(
             student.scale(width, depth)
 
             x = Tensor(images)
-            t_embed, t_hidden, t_logits = _forward_full(teacher, x)
+            # The teacher provides fixed targets (every use below is
+            # detached), so its forward runs tape-free.
+            with no_grad():
+                t_embed, t_hidden, t_logits = _forward_full(teacher, x)
             s_embed, s_hidden, s_logits = _forward_full(student, x)
 
             loss = config.lambda_logits * F.mse_loss(s_logits, t_logits.detach())

@@ -117,4 +117,5 @@ def header_parameter_importance(
         raise ValueError(
             f"gradient shape {gradients.shape} != value shape {values.shape}"
         )
-    return (gradients * values) ** 2
+    product = gradients * values
+    return product * product

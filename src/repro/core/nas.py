@@ -35,7 +35,7 @@ from repro.models.vit import VisionTransformer
 from repro.nn import functional as F
 from repro.nn.layers import Activation, Linear, Module, Sequential
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
 
 class SharedOpPool:
@@ -198,13 +198,16 @@ class HeaderSearch:
             rng=np.random.default_rng(0),
         )
         correct, total = 0, 0
-        for batch_idx, (images, labels) in enumerate(loader):
-            if batch_idx >= max_batches:
-                break
-            features = self._features(images, key=(id(dataset), batch_idx))
-            logits = child(features)
-            correct += int((logits.data.argmax(axis=-1) == labels).sum())
-            total += labels.shape[0]
+        # Reward scoring is pure inference (REINFORCE differentiates the
+        # controller's log-probs, never the child): run it tape-free.
+        with no_grad():
+            for batch_idx, (images, labels) in enumerate(loader):
+                if batch_idx >= max_batches:
+                    break
+                features = self._features(images, key=(id(dataset), batch_idx))
+                logits = child(features)
+                correct += int((logits.data.argmax(axis=-1) == labels).sum())
+                total += labels.shape[0]
         return correct / max(1, total)
 
     def _update_controller(self, val_set: ArrayDataset) -> float:

@@ -128,7 +128,11 @@ class DeviceNode:
         )
 
     def evaluate(self) -> dict:
-        """Accuracy of θ_n = (θH_n, θB_n) on held-out (or train) data."""
+        """Accuracy of θ_n = (θH_n, θB_n) on held-out (or train) data.
+
+        Runs tape-free end to end (``evaluate_header`` wraps its forward
+        passes in :func:`repro.nn.no_grad`).
+        """
         assert self.backbone is not None and self.header is not None
         dataset = self.test_dataset if self.test_dataset is not None else self.dataset
         return evaluate_header(self.backbone, self.header, dataset)

@@ -59,6 +59,13 @@ class ACMEConfig:
     storage_levels: Sequence[int] = (20_000, 30_000, 40_000, 50_000, 60_000)
     device_importance: object = None  # Optional[ImportanceConfig]
     finalize: bool = True  # run final fine-tune + evaluation
+    #: Engine compute precision for this run ("float32" or "float64").
+    #: ``None`` keeps the process-wide default.  float32 roughly halves
+    #: memory traffic on every matmul; see PERFORMANCE.md for measured
+    #: speedups and accuracy deltas.  The engine default dtype is scoped
+    #: to construction and ``run()`` (models are built in both) and
+    #: restored on exit, so it never leaks into the rest of the process.
+    compute_dtype: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,6 +137,26 @@ class ACMESystem:
         generator: Optional[SyntheticImageGenerator] = None,
     ) -> None:
         self.config = config or ACMEConfig()
+        with self._dtype_scope():
+            self._build(generator)
+
+    def _dtype_scope(self):
+        """Context applying ``compute_dtype`` to construction and ``run()``.
+
+        The engine default is restored on exit, so a float32 system never
+        leaks its dtype into the rest of the process.  Callers driving
+        protocol phases manually (outside ``run()``) should wrap them in
+        ``repro.nn.using_dtype`` themselves.
+        """
+        if self.config.compute_dtype is not None:
+            from repro.nn.tensor import using_dtype
+
+            return using_dtype(self.config.compute_dtype)
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def _build(self, generator: Optional[SyntheticImageGenerator]) -> None:
         cfg = self.config
         self.generator = generator or make_cifar100_like(
             num_classes=cfg.num_classes, image_size=cfg.vit.image_size, seed=cfg.seed
@@ -204,6 +231,10 @@ class ACMESystem:
     # ------------------------------------------------------------------
     def run(self) -> ACMERunResult:
         """Execute the full pipeline and gather results."""
+        with self._dtype_scope():
+            return self._run()
+
+    def _run(self) -> ACMERunResult:
         cfg = self.config
 
         # Phase 0/1 (cloud-side, no network traffic).

@@ -14,7 +14,11 @@ from repro.nn.conv import (
     Downsample2d,
     GlobalAvgPool2d,
     MaxPool2d,
+    clear_im2col_cache,
+    im2col_cache_info,
+    set_im2col_cache_enabled,
 )
+from repro.nn.init import default_generator, set_seed
 from repro.nn.layers import (
     Activation,
     Dropout,
@@ -36,7 +40,21 @@ from repro.nn.serialization import (
     save_state,
     state_dict_nbytes,
 )
-from repro.nn.tensor import Tensor, concatenate, ones, stack, where, zeros
+from repro.nn.tensor import (
+    Tensor,
+    concatenate,
+    enable_grad,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    set_default_dtype,
+    set_grad_enabled,
+    stack,
+    using_dtype,
+    where,
+    zeros,
+)
 from repro.nn.transformer import TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
@@ -64,16 +82,28 @@ __all__ = [
     "TransformerEncoder",
     "TransformerEncoderLayer",
     "array_nbytes",
+    "clear_im2col_cache",
     "clip_grad_norm",
     "concatenate",
+    "default_generator",
+    "enable_grad",
     "functional",
+    "get_default_dtype",
+    "im2col_cache_info",
+    "is_grad_enabled",
     "json_nbytes",
     "load_state",
     "module_nbytes",
+    "no_grad",
     "ones",
     "save_state",
+    "set_default_dtype",
+    "set_grad_enabled",
+    "set_im2col_cache_enabled",
+    "set_seed",
     "stack",
     "state_dict_nbytes",
+    "using_dtype",
     "where",
     "zeros",
 ]

@@ -3,17 +3,28 @@
 These power the CNN-style header blocks of the NAS search space (z×z
 convolutions, average/max pooling, downsampling — see Fig. 5 of the paper).
 Inputs follow the ``(N, C, H, W)`` layout.
+
+The im2col/col2im gather-index arrays depend only on
+``(channels, height, width, kernel, stride, padding)`` — not on the batch
+or the values — so they are memoized in a process-wide LRU cache shared
+by :class:`Conv2d`, :class:`MaxPool2d` and :class:`AvgPool2d`.  Repeated
+forwards over same-shaped activations (every training/eval loop) skip the
+index construction entirely.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn import init
 from repro.nn.layers import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
+
+_CACHE_ENABLED = True
 
 
 def _pair(value) -> Tuple[int, int]:
@@ -24,22 +35,15 @@ def _pair(value) -> Tuple[int, int]:
     return int(value), int(value)
 
 
-def _im2col_indices(
-    x_shape: Tuple[int, int, int, int],
-    kernel: Tuple[int, int],
-    stride: Tuple[int, int],
-    padding: Tuple[int, int],
+def _build_indices(
+    c: int, h: int, w: int, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
-    """Index arrays mapping padded input pixels to column-matrix entries."""
-    n, c, h, w = x_shape
-    kh, kw = kernel
-    sh, sw = stride
-    ph, pw = padding
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError(
-            f"kernel {kernel} with stride {stride}, padding {padding} does not fit input {x_shape}"
+            f"kernel {(kh, kw)} with stride {(sh, sw)}, padding {(ph, pw)} "
+            f"does not fit input (C={c}, H={h}, W={w})"
         )
 
     i0 = np.repeat(np.arange(kh), kw)
@@ -50,7 +54,66 @@ def _im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    # Cached arrays are shared across forwards; freeze them so an
+    # accidental in-place edit cannot corrupt every future convolution.
+    for arr in (k, i, j):
+        arr.setflags(write=False)
     return k, i, j, out_h, out_w
+
+
+# Bounded by entry count, not bytes: an entry is O(C*kh*kw*out_h*out_w)
+# int64, so the cap is kept small enough that even large-shape workloads
+# stay in the tens of MB.  Call clear_im2col_cache() to release.
+_cached_indices = functools.lru_cache(maxsize=128)(_build_indices)
+
+
+def set_im2col_cache_enabled(enabled: bool) -> None:
+    """Toggle the index cache (benchmarks disable it to measure cold cost)."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+
+
+def clear_im2col_cache() -> None:
+    _cached_indices.cache_clear()
+
+
+def im2col_cache_info():
+    """``functools.lru_cache`` statistics of the shared index cache."""
+    return _cached_indices.cache_info()
+
+
+def _im2col_indices(
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index arrays mapping padded input pixels to column-matrix entries."""
+    _n, c, h, w = x_shape
+    builder = _cached_indices if _CACHE_ENABLED else _build_indices
+    return builder(c, h, w, *kernel, *stride, *padding)
+
+
+def _zero_pad(data: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    """Spatial zero padding via slice assignment (much cheaper than np.pad)."""
+    n, c, h, w = data.shape
+    out = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=data.dtype)
+    out[:, :, ph : ph + h, pw : pw + w] = data
+    return out
+
+
+def _windows(
+    data: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int]
+) -> np.ndarray:
+    """Zero-copy ``(N, C, out_h, out_w, kh, kw)`` sliding-window view."""
+    kh, kw = kernel
+    if kh > data.shape[2] or kw > data.shape[3]:
+        raise ValueError(
+            f"kernel {kernel} does not fit input of shape {data.shape}"
+        )
+    return sliding_window_view(data, (kh, kw), axis=(2, 3))[
+        :, :, :: stride[0], :: stride[1]
+    ]
 
 
 def im2col(x: Tensor, kernel, stride=1, padding=0) -> Tuple[Tensor, int, int]:
@@ -82,7 +145,10 @@ class Conv2d(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Fall back to the shared module-level stream (NOT a fresh
+        # ``default_rng(0)``): convolutions built without an explicit rng
+        # must not all receive identical weights.
+        rng = rng if rng is not None else init.default_generator()
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _pair(kernel_size)
@@ -95,6 +161,8 @@ class Conv2d(Module):
         self.bias = Parameter(init.zeros(out_channels)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return self._forward_inference(x)
         n = x.shape[0]
         cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
         w_flat = self.weight.reshape(self.out_channels, -1)
@@ -104,6 +172,31 @@ class Conv2d(Module):
         if self.bias is not None:
             out = out + self.bias.reshape(1, self.out_channels, 1, 1)
         return out
+
+    def _forward_inference(self, x: Tensor) -> Tensor:
+        """Tape-free forward: strided sliding windows + a single GEMM.
+
+        Computes the same sums of products as the taped im2col path but
+        materializes the column matrix with one strided copy (no fancy
+        indexing, no index arrays) and runs as a plain-numpy pipeline
+        with no intermediate tensors or backward closures.
+        """
+        data = x.data
+        n = data.shape[0]
+        kh, kw = self.kernel_size
+        ph, pw = self.padding
+        if ph or pw:
+            data = _zero_pad(data, ph, pw)
+        view = _windows(data, self.kernel_size, self.stride)
+        out_h, out_w = view.shape[2], view.shape[3]
+        # (C, kh, kw, N, out_h, out_w) → rows match the weight layout.
+        cols = view.transpose(1, 4, 5, 0, 2, 3).reshape(self.in_channels * kh * kw, -1)
+        w_flat = self.weight.data.reshape(self.out_channels, -1)
+        out = w_flat @ cols  # (out_channels, N*out_h*out_w)
+        out = out.reshape(self.out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, self.out_channels, 1, 1)
+        return Tensor(out)
 
 
 class _Pool2d(Module):
@@ -124,9 +217,23 @@ class _Pool2d(Module):
         # cols: (kh*kw, N*C*out_h*out_w)
         return cols, n, c, out_h, out_w
 
+    def _windows_inference(self, x: Tensor) -> np.ndarray:
+        """Tape-free ``(N, C, out_h, out_w, kh, kw)`` window view.
+
+        Pooling reduces straight over the window axes — no column matrix
+        is ever materialized.
+        """
+        data = x.data
+        ph, pw = self.padding
+        if ph or pw:
+            data = _zero_pad(data, ph, pw)
+        return _windows(data, self.kernel_size, self.stride)
+
 
 class MaxPool2d(_Pool2d):
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._windows_inference(x).max(axis=(-2, -1)))
         cols, n, c, out_h, out_w = self._unfold(x)
         pooled = cols.max(axis=0)
         pooled = pooled.reshape(out_h * out_w, n * c)
@@ -135,6 +242,8 @@ class MaxPool2d(_Pool2d):
 
 class AvgPool2d(_Pool2d):
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            return Tensor(self._windows_inference(x).mean(axis=(-2, -1)))
         cols, n, c, out_h, out_w = self._unfold(x)
         pooled = cols.mean(axis=0)
         pooled = pooled.reshape(out_h * out_w, n * c)

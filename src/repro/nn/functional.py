@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, get_default_dtype
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -33,9 +33,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - logsumexp
-    soft = np.exp(out_data)
 
     def backward(grad: np.ndarray) -> None:
+        soft = np.exp(out_data)
         x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
 
     return Tensor._make(out_data, (x,), backward)
@@ -77,10 +77,8 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
     else:
         raise ValueError(f"unknown reduction {reduction!r}")
 
-    soft = np.exp(log_probs)
-
     def backward(grad: np.ndarray) -> None:
-        g = soft.copy()
+        g = np.exp(log_probs)
         g[np.arange(n), targets] -= 1.0
         if scale is None:
             g = g * np.asarray(grad).reshape(n, 1)
@@ -178,7 +176,7 @@ def accuracy(logits: Tensor, targets: np.ndarray) -> float:
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     """Plain numpy one-hot encoding helper for controller inputs."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros(indices.shape + (num_classes,))
+    out = np.zeros(indices.shape + (num_classes,), dtype=get_default_dtype())
     np.put_along_axis(
         out.reshape(-1, num_classes),
         indices.reshape(-1, 1),

@@ -2,11 +2,34 @@
 
 Each initializer takes an explicit :class:`numpy.random.Generator` so that
 every experiment in the reproduction is deterministic given its seed.
+
+Convolution layers built *without* an explicit generator draw from the
+process-wide :func:`default_generator` instead of a freshly-seeded one —
+two ``Conv2d`` constructed back to back get different weights (previously
+every such conv restarted ``default_rng(0)`` and received identical
+values).  Call :func:`set_seed` to make the fallback stream reproducible
+across runs.  Other layers (``Linear``, ``Embedding``, …) still use the
+legacy fixed ``default_rng(0)`` fallback; migrating them is tracked in
+ROADMAP.md since it changes weights for any caller relying on it.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+_DEFAULT_SEED = 0
+_GLOBAL_RNG = np.random.default_rng(_DEFAULT_SEED)
+
+
+def default_generator() -> np.random.Generator:
+    """The shared fallback generator for modules built without a ``rng``."""
+    return _GLOBAL_RNG
+
+
+def set_seed(seed: int) -> None:
+    """Reset the fallback initialization stream to a known state."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
 
 
 def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:

@@ -92,6 +92,21 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Convert all parameters to ``dtype`` in place (grads are dropped).
+
+        Use together with :func:`repro.nn.set_default_dtype` to move an
+        already-built model into the float32 compute mode.
+        """
+        from repro.nn.tensor import _resolve_dtype
+
+        resolved = np.dtype(_resolve_dtype(dtype))
+        for p in self.parameters():
+            if p.data.dtype != resolved:
+                p.data = p.data.astype(resolved)
+            p.grad = None
+        return self
+
     # -- (de)serialization ------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
@@ -111,7 +126,10 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
                     )
-                param.data = value.copy()
+                # Cast to the parameter's dtype so loading a float64 state
+                # into a float32 model (or vice versa) never flips the
+                # model's compute precision mid-run.
+                param.data = value.astype(param.data.dtype, copy=True)
 
     # -- call protocol ------------------------------------------------------
     def forward(self, *args, **kwargs):

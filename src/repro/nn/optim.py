@@ -108,7 +108,7 @@ class Adam(Optimizer):
                 m = np.zeros_like(p.data)
                 v = np.zeros_like(p.data)
             m = b1 * m + (1 - b1) * grad
-            v = b2 * v + (1 - b2) * grad**2
+            v = b2 * v + (1 - b2) * (grad * grad)
             self._m[id(p)] = m
             self._v[id(p)] = v
             p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
@@ -120,7 +120,7 @@ def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     Returns the pre-clipping norm (useful for logging).
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = float(np.sqrt(sum(float((p.grad * p.grad).sum()) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

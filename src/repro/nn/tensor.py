@@ -16,6 +16,15 @@ The design follows the classic define-by-run tape:
 
 The engine is intentionally small but complete enough to train Vision
 Transformers, convolutional headers and LSTM controllers on CPU.
+
+Two global switches control the engine's speed/accuracy trade-off:
+
+* **grad mode** — :func:`no_grad` / :func:`set_grad_enabled` disable the
+  tape: inside a disabled region no parents or backward closures are
+  recorded, so pure-inference code pays only the forward numpy cost;
+* **default dtype** — :func:`set_default_dtype` selects the compute
+  precision (float64 by default; float32 roughly halves memory traffic
+  and is the recommended inference/serving mode).
 """
 
 from __future__ import annotations
@@ -28,16 +37,199 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float64
 
+#: Supported compute dtypes, keyed by their canonical names.
+_SUPPORTED_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+# Tape recording state.  ``_GRAD_ENABLED`` is toggled by ``no_grad`` /
+# ``set_grad_enabled``; ``_GRAD_OVERRIDE`` (benchmark-only) pins the mode
+# regardless of ``no_grad`` regions so the pre-fast-path engine behavior
+# can be reproduced for timing comparisons.
+_GRAD_ENABLED = True
+_GRAD_OVERRIDE: Optional[bool] = None
+
+# ``numpy.power`` with a small integer exponent routes through libm pow
+# and is ~100x slower than repeated multiplication on large arrays; the
+# engine expands those exponents by hand.  ``_set_fast_pow(False)`` is a
+# benchmark-only switch restoring the libm behavior of the seed engine.
+_FAST_POW = True
+
+
+def _set_fast_pow(enabled: bool) -> None:
+    global _FAST_POW
+    _FAST_POW = bool(enabled)
+
+
+def _pow(base: np.ndarray, exponent) -> np.ndarray:
+    """``base ** exponent`` with small integer/half exponents expanded."""
+    if _FAST_POW:
+        if exponent == 2:
+            return base * base
+        if exponent == 3:
+            return base * base * base
+        if exponent == 4:
+            sq = base * base
+            return sq * sq
+        if exponent == 1:
+            return base
+        if exponent == 0.5:
+            return np.sqrt(base)
+        if exponent == -0.5:
+            return 1.0 / np.sqrt(base)
+        if exponent == -1:
+            return 1.0 / base
+    return base**exponent
+
+
+def _resolve_dtype(dtype):
+    """Normalize a dtype spec (str / np.dtype / type) to a numpy scalar type."""
+    if isinstance(dtype, str):
+        if dtype not in _SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported dtype {dtype!r}; options: {sorted(_SUPPORTED_DTYPES)}"
+            )
+        return _SUPPORTED_DTYPES[dtype]
+    resolved = np.dtype(dtype)
+    for candidate in _SUPPORTED_DTYPES.values():
+        if resolved == np.dtype(candidate):
+            return candidate
+    raise ValueError(
+        f"unsupported dtype {dtype!r}; options: {sorted(_SUPPORTED_DTYPES)}"
+    )
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the engine-wide compute dtype (``"float32"`` or ``"float64"``).
+
+    Applies to tensors created afterwards; existing tensors keep their
+    dtype (convert modules with :meth:`repro.nn.Module.astype`).
+    """
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = _resolve_dtype(dtype)
+
+
+def get_default_dtype():
+    """The dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+class using_dtype:
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+
+    def __init__(self, dtype) -> None:
+        self._dtype = _resolve_dtype(dtype)
+        self._previous = None
+
+    def __enter__(self) -> "using_dtype":
+        self._previous = _DEFAULT_DTYPE
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_default_dtype(self._previous)
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    if _GRAD_OVERRIDE is not None:
+        return _GRAD_OVERRIDE
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(mode: bool) -> bool:
+    """Globally enable/disable tape recording; returns the previous mode."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = bool(mode)
+    return previous
+
+
+def _set_grad_override(mode: Optional[bool]) -> None:
+    """Benchmark hook: pin grad mode regardless of ``no_grad`` regions.
+
+    Pass ``True`` to force recording (emulating the engine before the
+    inference fast path existed), ``None`` to restore normal behavior.
+    """
+    global _GRAD_OVERRIDE
+    _GRAD_OVERRIDE = mode
+
+
+class _GradMode:
+    """Context manager / decorator setting tape recording to ``mode``."""
+
+    _mode = True
+
+    def __init__(self) -> None:
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "_GradMode":
+        self._previous = set_grad_enabled(self._mode)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_grad_enabled(self._previous)
+
+    def __call__(self, fn: Callable) -> Callable:
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with type(self)():
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+class no_grad(_GradMode):
+    """Disable tape recording: forwards run as plain numpy pipelines.
+
+    Usable as a context manager (``with no_grad(): ...``) or decorator.
+    Tensors produced inside have no parents and no backward closures, so
+    they cannot be backpropagated through — use for inference only.
+    """
+
+    _mode = False
+
+
+class enable_grad(_GradMode):
+    """Re-enable tape recording inside a ``no_grad`` region."""
+
+    _mode = True
+
 
 def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
-    """Coerce ``data`` to a numpy array with the engine's default dtype."""
+    """Coerce ``data`` to a numpy array with the engine's default dtype.
+
+    Floating arrays wider than the default dtype are cast down so that a
+    float32 session never silently upcasts to float64; narrower floating
+    arrays (e.g. float32 wire payloads under a float64 default) pass
+    through untouched, preserving the historical behavior.
+    """
     if isinstance(data, np.ndarray):
-        if dtype is not None and data.dtype != dtype:
-            return data.astype(dtype)
+        if dtype is not None:
+            return data if data.dtype == dtype else data.astype(dtype)
         if data.dtype.kind in "fc":
+            if data.dtype.kind == "f" and data.dtype.itemsize > np.dtype(_DEFAULT_DTYPE).itemsize:
+                return data.astype(_DEFAULT_DTYPE)
             return data
         return data.astype(_DEFAULT_DTYPE)
     return np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+
+
+def _index_is_unique(index) -> bool:
+    """True if ``index`` is basic indexing (ints/slices only), which can
+    never address the same element twice — allowing gradient scatter via
+    assignment instead of ``np.add.at``."""
+    if isinstance(index, (int, np.integer, slice)) or index is Ellipsis or index is None:
+        return True
+    if isinstance(index, tuple):
+        return all(
+            isinstance(part, (int, np.integer, slice)) or part is Ellipsis or part is None
+            for part in index
+        )
+    return False
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -131,7 +323,7 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         out = Tensor(data)
-        if any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
@@ -254,7 +446,7 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(grad / other.data)
             if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
+                other._accumulate(-grad * self.data / _pow(other.data, 2))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -264,10 +456,12 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
-        out_data = self.data**exponent
+        out_data = _pow(self.data, exponent)
+        if out_data is self.data:  # exponent == 1: don't alias the input
+            out_data = self.data.copy()
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * _pow(self.data, exponent - 1))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -306,7 +500,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data**2))
+            self._accumulate(grad * (1.0 - out_data * out_data))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -331,23 +525,22 @@ class Tensor:
         """Gaussian Error Linear Unit (tanh approximation)."""
         c = np.sqrt(2.0 / np.pi)
         x = self.data
-        inner = c * (x + 0.044715 * x**3)
+        inner = c * (x + 0.044715 * _pow(x, 3))
         t = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + t)
 
         def backward(grad: np.ndarray) -> None:
-            dinner = c * (1.0 + 3 * 0.044715 * x**2)
-            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t**2) * dinner
+            dinner = c * (1.0 + 3 * 0.044715 * _pow(x, 2))
+            local = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
             self._accumulate(grad * local)
 
         return Tensor._make(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
-        sign = np.sign(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
+            self._accumulate(grad * np.sign(self.data))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -456,7 +649,13 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if _index_is_unique(index):
+                # Basic indexing never selects the same element twice, so
+                # plain assignment replaces the (much slower) ufunc.at
+                # scatter-add.
+                full[index] = grad
+            else:
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
@@ -531,8 +730,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)

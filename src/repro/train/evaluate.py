@@ -11,7 +11,7 @@ from repro.models.headers import BackboneFeatures, Header
 from repro.models.vit import VisionTransformer
 from repro.nn import functional as F
 from repro.nn.layers import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
 
 def evaluate_model(
@@ -26,13 +26,14 @@ def evaluate_model(
     )
     model.eval()
     correct, total, loss_sum = 0, 0, 0.0
-    for batch_idx, (images, labels) in enumerate(loader):
-        if max_batches is not None and batch_idx >= max_batches:
-            break
-        logits = model(Tensor(images))
-        loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
-        correct += int((logits.data.argmax(axis=-1) == labels).sum())
-        total += labels.shape[0]
+    with no_grad():
+        for batch_idx, (images, labels) in enumerate(loader):
+            if max_batches is not None and batch_idx >= max_batches:
+                break
+            logits = model(Tensor(images))
+            loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += labels.shape[0]
     if total == 0:
         raise ValueError("no samples evaluated")
     return {"accuracy": correct / total, "loss": loss_sum / total, "samples": total}
@@ -51,15 +52,16 @@ def evaluate_header(
     )
     header.eval()
     correct, total, loss_sum = 0, 0, 0.0
-    for batch_idx, (images, labels) in enumerate(loader):
-        if max_batches is not None and batch_idx >= max_batches:
-            break
-        cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
-        features = BackboneFeatures(cls.detach(), tokens.detach(), penult.detach())
-        logits = header(features)
-        loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
-        correct += int((logits.data.argmax(axis=-1) == labels).sum())
-        total += labels.shape[0]
+    with no_grad():
+        for batch_idx, (images, labels) in enumerate(loader):
+            if max_batches is not None and batch_idx >= max_batches:
+                break
+            cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+            features = BackboneFeatures(cls, tokens, penult)
+            logits = header(features)
+            loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
+            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            total += labels.shape[0]
     if total == 0:
         raise ValueError("no samples evaluated")
     return {"accuracy": correct / total, "loss": loss_sum / total, "samples": total}

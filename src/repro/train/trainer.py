@@ -14,7 +14,7 @@ from repro.models.vit import VisionTransformer
 from repro.nn import functional as F
 from repro.nn.layers import Module
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
 
 @dataclass
@@ -111,9 +111,13 @@ def train_header(
                 and batch_idx >= config.max_batches_per_epoch
             ):
                 break
-            cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
             if freeze_backbone:
-                cls, tokens, penult = cls.detach(), tokens.detach(), penult.detach()
+                # The backbone is pure feature extraction here: run it
+                # tape-free instead of building a graph and detaching.
+                with no_grad():
+                    cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+            else:
+                cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
             features = BackboneFeatures(cls, tokens, penult)
             logits = header(features)
             loss = F.cross_entropy(logits, labels)
