@@ -89,12 +89,23 @@ def emit_perf(
     records: Sequence[Dict[str, object]],
     path: Optional[Path] = None,
     extra: Optional[Dict[str, object]] = None,
+    merge: bool = True,
 ) -> Dict[str, object]:
     """Persist perf records under ``bench_results/`` (and ``path`` if given).
 
     Also prints a human-readable table and **asserts every record's
     ``floor``** so speedup regressions fail loudly in CI-style runs.
+
+    With ``merge`` (the default) the trajectory file at ``path`` is
+    updated record-by-record: records whose labels this bench rewrites
+    are replaced, records from other benches are preserved — so
+    ``BENCH_perf.json`` can accumulate the whole perf trajectory
+    (hot-path kernels, parallel cluster phases, …) regardless of which
+    bench ran last.  Each record carries a ``bench`` provenance field.
     """
+    records = [dict(r) for r in records]
+    for record in records:
+        record.setdefault("bench", name)
     payload = {
         "bench": name,
         "schema": PERF_SCHEMA,
@@ -128,7 +139,39 @@ def emit_perf(
     # updated once every floor holds, so a regressed run cannot
     # overwrite the baseline it is measured against.
     if path is not None:
-        Path(path).write_text(json.dumps(payload, indent=2, default=float))
+        path = Path(path)
+        combined = list(records)
+        if merge and path.exists():
+            try:
+                existing = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                existing = None
+            if isinstance(existing, dict) and isinstance(existing.get("results"), list):
+                # Each bench owns its namespace: a run replaces ALL of its
+                # own previous records (so renamed/retired labels cannot
+                # linger as stale floors) and never touches records owned
+                # by other benches.  Legacy records without a provenance
+                # field are claimed by label.  Cross-bench label
+                # collisions are left in place — the trajectory replay
+                # test asserts label uniqueness, so they fail loudly
+                # instead of silently deleting another bench's baseline.
+                new_labels = {r.get("label") for r in records}
+                kept = [
+                    r
+                    for r in existing["results"]
+                    if isinstance(r, dict)
+                    and r.get("bench") != name
+                    and not ("bench" not in r and r.get("label") in new_labels)
+                ]
+                combined = kept + combined
+        benches = sorted({str(r.get("bench", name)) for r in combined})
+        trajectory = {
+            "bench": "+".join(benches),
+            "schema": PERF_SCHEMA,
+            "unix_time": time.time(),
+            "results": combined,
+        }
+        path.write_text(json.dumps(trajectory, indent=2, default=float))
     return payload
 
 

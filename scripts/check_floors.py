@@ -1,0 +1,80 @@
+"""Replay the perf floors recorded in ``BENCH_perf.json``.
+
+The perf benches (``benchmarks/bench_perf_hotpaths.py``,
+``benchmarks/bench_parallel_devices.py``) assert their speedup floors at
+measurement time and only then merge records into the trajectory file.
+This script replays those floors from the committed file so that a
+regressed or hand-edited trajectory fails fast — it is wired into tier-1
+via ``tests/test_perf_floors.py`` and can be run standalone:
+
+    python scripts/check_floors.py [path/to/BENCH_perf.json]
+
+Exit status 0 when every record holds its floor, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_perf.json"
+EXPECTED_SCHEMA = "perf/v1"
+
+
+def load_trajectory(path: Path = DEFAULT_TRAJECTORY) -> Dict[str, object]:
+    """Parse and structurally validate the trajectory file."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != EXPECTED_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {EXPECTED_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    results = data.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError(f"{path}: no perf records found")
+    return data
+
+
+def check_floors(path: Path = DEFAULT_TRAJECTORY) -> List[str]:
+    """Return one failure message per record whose floor does not hold."""
+    data = load_trajectory(path)
+    failures: List[str] = []
+    for record in data["results"]:
+        label = record.get("label", "<unlabeled>")
+        floor = record.get("floor")
+        speedup = record.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            failures.append(f"{label}: missing/invalid speedup {speedup!r}")
+            continue
+        if floor is not None and speedup < floor:
+            failures.append(
+                f"{label}: recorded speedup {speedup:.2f}x is below the "
+                f"{floor:.1f}x floor"
+            )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_TRAJECTORY
+    try:
+        failures = check_floors(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"perf floor check errored: {exc}")
+        return 1
+    data = load_trajectory(path)
+    floored = [r for r in data["results"] if r.get("floor") is not None]
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print(
+        f"ok: {len(floored)} floored record(s) "
+        f"(of {len(data['results'])}) hold in {path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

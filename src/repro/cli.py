@@ -27,6 +27,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         devices_per_cluster=args.devices,
         num_classes=args.classes,
         samples_per_class=args.samples,
+        parallel_devices=args.workers,
         seed=args.seed,
     )
     system = ACMESystem(config)
@@ -97,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--devices", type=int, default=3)
     run.add_argument("--classes", type=int, default=8)
     run.add_argument("--samples", type=int, default=48)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads for the per-device cluster phases "
+        "(1 = serial, -1 = all CPU cores); any value reproduces the "
+        "serial results exactly",
+    )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 

@@ -19,7 +19,7 @@ reproduce the Fig. 11 comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -42,8 +42,15 @@ def aggregation_weights(
     backbone: Optional[VisionTransformer] = None,
     datasets: Optional[Sequence[ArrayDataset]] = None,
     seed: int = 0,
+    max_workers: Union[int, str, None] = None,
 ) -> np.ndarray:
-    """Row-stochastic weight matrix Ŵ for one aggregation method."""
+    """Row-stochastic weight matrix Ŵ for one aggregation method.
+
+    ``max_workers`` fans the per-device feature extraction of the
+    similarity-based methods out across threads (same contract as
+    :func:`repro.core.similarity.build_similarity_matrix`: any worker
+    count yields the same matrix).
+    """
     if method not in AGGREGATION_METHODS:
         raise ValueError(f"unknown method {method!r}; options: {AGGREGATION_METHODS}")
     if method == "alone":
@@ -53,7 +60,9 @@ def aggregation_weights(
     if backbone is None or datasets is None:
         raise ValueError(f"method {method!r} needs a backbone and device datasets")
     metric = "wasserstein" if method == "ours" else "js"
-    return build_similarity_matrix(backbone, list(datasets), metric=metric, seed=seed)
+    return build_similarity_matrix(
+        backbone, list(datasets), metric=metric, seed=seed, max_workers=max_workers
+    )
 
 
 def aggregate_importance_sets(
@@ -106,6 +115,7 @@ def personalized_architecture_aggregation(
     method: str = "ours",
     importance_config: Optional[ImportanceConfig] = None,
     seed: int = 0,
+    max_workers: Union[int, str, None] = None,
 ) -> AggregationResult:
     """Algorithm 2: generate fine headers for one device cluster.
 
@@ -125,7 +135,14 @@ def personalized_architecture_aggregation(
         the mask can both shrink and recover as importance estimates evolve.
     method:
         One of :data:`AGGREGATION_METHODS`.
+    max_workers:
+        Worker threads for the per-device fan-outs (feature extraction
+        for the similarity matrix, and each round's importance sets).
+        Per-device work is state-disjoint and results stay in device
+        order, so any worker count reproduces the serial result.
     """
+    from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
+
     if len(headers) != len(datasets):
         raise ValueError("need exactly one dataset per header")
     if num_rounds < 1:
@@ -133,17 +150,22 @@ def personalized_architecture_aggregation(
 
     n = len(headers)
     # Algorithm 2 line 2: the similarity matrix is computed once, up front.
-    weights = aggregation_weights(method, n, backbone, datasets, seed=seed)
+    weights = aggregation_weights(
+        method, n, backbone, datasets, seed=seed, max_workers=max_workers
+    )
     result = AggregationResult(headers=list(headers), weights=weights)
 
     for t in range(num_rounds):
-        importance_sets = []
-        upload = 0
-        for header, dataset in zip(headers, datasets):
-            config = importance_config or ImportanceConfig(seed=seed + t)
-            q = compute_importance_set(backbone, header, dataset, config=config)
-            importance_sets.append(q)
-            upload += q.nbytes  # devices upload Q_n (line 6)
+        config = importance_config or ImportanceConfig(seed=seed + t)
+        importance_sets = parallel_map(
+            lambda pair: compute_importance_set(
+                backbone, pair[0], pair[1], config=config
+            ),
+            list(zip(headers, datasets)),
+            max_workers=max_workers,
+            serial_if_stochastic=(backbone,),
+        )
+        upload = sum(q.nbytes for q in importance_sets)  # devices upload Q_n (line 6)
 
         personalized = aggregate_importance_sets(importance_sets, weights)
         download = sum(q.nbytes for q in personalized)  # edge sends Q'_n (line 9)

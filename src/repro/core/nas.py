@@ -18,7 +18,7 @@ available as a fast path (features are then cached across steps).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -86,6 +86,12 @@ class NASConfig:
     val_fraction: float = 0.3
     train_backbone: bool = True  # paper: backbone NOT frozen in stage 2-1
     grad_clip: float = 5.0
+    #: Worker threads for child scoring (controller updates + derivation).
+    #: Children are sampled and built serially — so the controller RNG
+    #: stream and lazy shared-pool builds happen in the serial order —
+    #: then scored concurrently (pure inference, deterministic results in
+    #: sample order).  ``None``/0/1 = serial; -1/"auto" = CPU count.
+    parallel_workers: Union[int, str, None] = None
     seed: int = 0
 
 
@@ -190,7 +196,18 @@ class HeaderSearch:
 
     def evaluate(self, spec: HeaderSpec, dataset: ArrayDataset, max_batches: int = 4) -> float:
         """Validation accuracy of a spec under the shared weights."""
-        child = self.build_child(spec)
+        return self._evaluate_child(self.build_child(spec), dataset, max_batches)
+
+    def _evaluate_child(
+        self, child: DAGHeader, dataset: ArrayDataset, max_batches: int = 4
+    ) -> float:
+        """Score an already-built child — the parallelizable inner task.
+
+        Pure inference over shared (frozen-for-scoring) weights: safe to
+        run concurrently for many children.  The feature cache may be
+        filled redundantly by racing workers, but every writer computes
+        the identical value, so results don't depend on scheduling.
+        """
         loader = DataLoader(
             dataset,
             batch_size=self.config.batch_size,
@@ -210,19 +227,50 @@ class HeaderSearch:
                 total += labels.shape[0]
         return correct / max(1, total)
 
+    def _score_specs(
+        self, specs: List[HeaderSpec], dataset: ArrayDataset, max_batches: int = 4
+    ) -> List[float]:
+        """Validation rewards for many specs, fanned out over workers.
+
+        Children are built serially first (lazy shared-pool operations
+        must be created in the deterministic sample order), then scored
+        through the executor with rewards returned in spec order — so
+        any worker count reproduces the serial loop exactly.  Scoring
+        drops to serial if a forward through the shared backbone or pool
+        would consume module-local RNG (training-mode dropout), since
+        concurrent draws from one generator are neither deterministic
+        nor safe.
+        """
+        from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
+
+        children = [self.build_child(spec) for spec in specs]
+        return parallel_map(
+            lambda child: self._evaluate_child(child, dataset, max_batches),
+            children,
+            max_workers=self.config.parallel_workers,
+            serial_if_stochastic=(self.backbone, *children),
+        )
+
     def _update_controller(self, val_set: ArrayDataset) -> float:
-        """One REINFORCE update; returns the mean reward of its samples."""
+        """One REINFORCE update; returns the mean reward of its samples.
+
+        Architecture sampling stays serial (it threads the controller's
+        RNG stream), child scoring fans out, and the moving-average
+        baseline is then updated in sample order — numerically identical
+        to the fully serial loop.
+        """
         cfg = self.config
-        rewards = []
+        samples = [
+            self.controller.sample(self.rng)
+            for _ in range(cfg.controller_updates_per_epoch)
+        ]
+        rewards = self._score_specs([s.spec for s in samples], val_set)
         losses = None
-        for _ in range(cfg.controller_updates_per_epoch):
-            sample = self.controller.sample(self.rng)
-            reward = self.evaluate(sample.spec, val_set)
+        for sample, reward in zip(samples, rewards):
             baseline = self._baseline.update(reward)
             advantage = reward - baseline
             term = sample.log_prob * (-advantage)
             losses = term if losses is None else losses + term
-            rewards.append(reward)
         assert losses is not None
         self._controller_opt.zero_grad()
         losses.backward()
@@ -252,17 +300,21 @@ class HeaderSearch:
             mean_reward = self._update_controller(val_set)
             result.reward_history.append(mean_reward)
 
-        # Derivation: sample candidates, keep the best on validation.
-        best_spec, best_reward = None, -1.0
-        for _ in range(cfg.derive_samples):
-            sample = self.controller.sample(self.rng)
-            reward = self.evaluate(sample.spec, val_set)
-            if reward > best_reward:
-                best_spec, best_reward = sample.spec, reward
+        # Derivation: sample candidates (serial, RNG-ordered), score them
+        # across workers, keep the best on validation.  The greedy spec is
+        # scored with the batch; the tie-breaking order (first best wins,
+        # greedy only on strict improvement) matches the serial loop.
+        derive_specs = [
+            self.controller.sample(self.rng).spec for _ in range(cfg.derive_samples)
+        ]
         greedy = self.controller.sample(self.rng, greedy=True)
-        greedy_reward = self.evaluate(greedy.spec, val_set)
-        if greedy_reward > best_reward:
-            best_spec, best_reward = greedy.spec, greedy_reward
+        rewards = self._score_specs(derive_specs + [greedy.spec], val_set)
+        best_spec, best_reward = None, -1.0
+        for spec, reward in zip(derive_specs, rewards[: len(derive_specs)]):
+            if reward > best_reward:
+                best_spec, best_reward = spec, reward
+        if rewards[-1] > best_reward:
+            best_spec, best_reward = greedy.spec, rewards[-1]
 
         assert best_spec is not None
         result.spec = best_spec

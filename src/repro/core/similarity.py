@@ -25,7 +25,8 @@ be re-activated globally with :func:`set_vectorized` for A/B timing.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import threading
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.stats import wasserstein_distance
@@ -41,6 +42,37 @@ def set_vectorized(enabled: bool) -> None:
     """Toggle the vectorized kernels (benchmarks flip this for baselines)."""
     global _VECTORIZED
     _VECTORIZED = bool(enabled)
+
+
+# Projection directions depend only on (dims, num_projections, seed) and
+# are deterministic, so repeated aggregation rounds / edge clusters reuse
+# them instead of re-sampling.  The cache is shared across the executor's
+# worker threads — the lock keeps insertion atomic, and cached arrays are
+# frozen read-only so concurrent readers cannot corrupt them.
+_PROJECTION_CACHE: Dict[Tuple[int, int, int], np.ndarray] = {}
+_PROJECTION_CACHE_LOCK = threading.Lock()
+_PROJECTION_CACHE_MAX = 64
+
+
+def clear_projection_cache() -> None:
+    """Drop all memoized projection-direction matrices."""
+    with _PROJECTION_CACHE_LOCK:
+        _PROJECTION_CACHE.clear()
+
+
+def _cached_projections(dims: int, num_projections: int, seed: int) -> np.ndarray:
+    key = (int(dims), int(num_projections), int(seed))
+    with _PROJECTION_CACHE_LOCK:
+        cached = _PROJECTION_CACHE.get(key)
+        if cached is not None:
+            return cached
+    directions = _sample_projections(dims, num_projections, np.random.default_rng(seed))
+    directions.setflags(write=False)
+    with _PROJECTION_CACHE_LOCK:
+        if len(_PROJECTION_CACHE) >= _PROJECTION_CACHE_MAX:
+            _PROJECTION_CACHE.clear()
+        _PROJECTION_CACHE[key] = directions
+    return directions
 
 
 def extract_features(
@@ -127,9 +159,7 @@ def sliced_wasserstein(
     if not _VECTORIZED and projections is None:
         return _sliced_wasserstein_loop(a, b, num_projections=num_projections, p=p, seed=seed)
     if projections is None:
-        projections = _sample_projections(
-            a.shape[1], num_projections, np.random.default_rng(seed)
-        )
+        projections = _cached_projections(a.shape[1], num_projections, seed)
     pa = a @ projections  # (na, P)
     pb = b @ projections  # (nb, P)
     if p == 1:
@@ -263,9 +293,7 @@ def distance_matrix(
                     )
                     out[i, j] = out[j, i] = d
             return out
-        projections = _sample_projections(
-            dims, num_projections, np.random.default_rng(seed)
-        )
+        projections = _cached_projections(dims, num_projections, seed)
         projected = [np.sort(f @ projections, axis=0) for f in arrays]
         for i in range(n):
             for j in range(i + 1, n):
@@ -320,16 +348,29 @@ def build_similarity_matrix(
     max_samples: int = 64,
     seed: int = 0,
     temperature: float = 0.05,
+    max_workers: Union[int, str, None] = None,
 ) -> np.ndarray:
     """End-to-end Eq. (19)+(20): Ŵ_s from device datasets.
 
     Returns the row-stochastic matrix used as aggregation weights in
     Eq. (21).  See :func:`regularize_similarity` for the temperature.
+    Feature extraction is an independent tape-free forward per dataset;
+    ``max_workers`` fans it out across threads with features kept in
+    dataset order, so any worker count yields the same matrix.  If the
+    shared model would consume module-local RNG during forwards (a
+    training-mode ``Dropout`` with ``p > 0``), the fan-out drops to
+    serial so concurrent draws cannot corrupt or reorder the stream.
     """
-    features = [
-        extract_features(model, d, max_samples=max_samples, seed=seed + i)
-        for i, d in enumerate(datasets)
-    ]
+    from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
+
+    features = parallel_map(
+        lambda pair: extract_features(
+            model, pair[1], max_samples=max_samples, seed=seed + pair[0]
+        ),
+        list(enumerate(datasets)),
+        max_workers=max_workers,
+        serial_if_stochastic=(model,),
+    )
     distances = distance_matrix(features, metric=metric, seed=seed)
     return regularize_similarity(
         similarity_from_distances(distances), temperature=temperature

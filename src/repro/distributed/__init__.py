@@ -3,6 +3,12 @@
 from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
+from repro.distributed.executor import (
+    WorkerSpec,
+    parallel_map,
+    parallel_starmap,
+    resolve_workers,
+)
 from repro.distributed.messages import Message, MessageKind, payload_nbytes
 from repro.distributed.metrics import (
     NormalizedTradeoff,
@@ -34,9 +40,13 @@ __all__ = [
     "Network",
     "NormalizedTradeoff",
     "TrafficStats",
+    "WorkerSpec",
     "centralized_upload_bytes",
     "energy_efficiency_ratio",
+    "parallel_map",
+    "parallel_starmap",
     "payload_nbytes",
     "relative_upload",
+    "resolve_workers",
     "size_efficiency_ratio",
 ]

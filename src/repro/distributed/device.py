@@ -127,6 +127,18 @@ class DeviceNode:
             freeze_backbone=True,
         )
 
+    def finalize_round(self, config: Optional[TrainConfig] = None) -> dict:
+        """Final fine-tune followed by evaluation — one schedulable unit.
+
+        This is the task the cluster-phase executor fans out: it reads
+        and writes only this device's own state (its backbone, header,
+        datasets and seeded RNG streams), so any number of devices can
+        run their rounds concurrently and reproduce the serial result
+        exactly.
+        """
+        self.finetune(config)
+        return self.evaluate()
+
     def evaluate(self) -> dict:
         """Accuracy of θ_n = (θH_n, θB_n) on held-out (or train) data.
 

@@ -27,6 +27,7 @@ from repro.core.similarity import (
 )
 from repro.data.dataset import ArrayDataset
 from repro.distributed.device import DeviceNode
+from repro.distributed.executor import WorkerSpec, parallel_map
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
 from repro.hw.profiles import cluster_statistics
@@ -42,6 +43,11 @@ class EdgeConfig:
     aggregation_rounds: int = 2  # T in Algorithm 2
     keep_fraction: float = 0.7
     similarity_metric: str = "wasserstein"  # "wasserstein" (ours) or "js"
+    #: Worker threads for the per-device fan-outs (importance rounds and
+    #: finalize/eval).  ``None``/0/1 = serial; -1/"auto" = CPU count.
+    #: Results are ordered by device, so any worker count reproduces the
+    #: serial run exactly (see repro.distributed.executor).
+    parallel_devices: WorkerSpec = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -172,8 +178,18 @@ class EdgeServer:
         for t in range(rounds):
             self._pending_importance.clear()
             include_features = self.similarity is None
-            for device in self.devices:
-                message = device.importance_round(include_feature_sample=include_features)
+            # The local importance rounds (header training + Taylor
+            # accumulation) are independent per device — fan out.  The
+            # network sends stay serial and in device order so the
+            # traffic ledger and message sequence match the serial run.
+            messages = parallel_map(
+                lambda device: device.importance_round(
+                    include_feature_sample=include_features
+                ),
+                self.devices,
+                max_workers=self.config.parallel_devices,
+            )
+            for message in messages:
                 message.receiver = self.name
                 self.network.send(message)
 
@@ -197,10 +213,24 @@ class EdgeServer:
         return self.similarity
 
     # ------------------------------------------------------------------
-    def finalize(self) -> List[dict]:
-        """Final device-side fine-tuning and evaluation."""
-        results = []
-        for device in self.devices:
-            device.finetune()
-            results.append(device.evaluate())
-        return results
+    #: Sentinel distinguishing "caller did not pass max_workers" (use the
+    #: config) from an explicit ``None`` (serial, per the executor contract).
+    _USE_CONFIG_WORKERS = object()
+
+    def finalize(self, max_workers: WorkerSpec = _USE_CONFIG_WORKERS) -> List[dict]:
+        """Final device-side fine-tuning and evaluation.
+
+        Each device's finetune+eval touches only that device's state, so
+        the loop fans out across ``max_workers`` threads; results stay in
+        device order.  When the argument is omitted the config's
+        ``parallel_devices`` applies; an explicit value — including
+        ``None``/0/1 for serial — follows the
+        :mod:`repro.distributed.executor` contract verbatim.
+        """
+        if max_workers is EdgeServer._USE_CONFIG_WORKERS:
+            max_workers = self.config.parallel_devices
+        return parallel_map(
+            lambda device: device.finalize_round(),
+            self.devices,
+            max_workers=max_workers,
+        )

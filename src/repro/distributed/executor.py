@@ -1,0 +1,120 @@
+"""Deterministic parallel execution for the embarrassingly parallel phases.
+
+The cluster dimension of the ACME protocol — per-device finalize/eval,
+importance rounds, similarity feature extraction, NAS child scoring — is
+a fan-out of independent tasks.  :func:`parallel_map` runs such a fan-out
+on a thread pool while preserving the three properties the protocol
+tests rely on:
+
+* **deterministic result ordering** — results come back in input order,
+  never completion order, so downstream aggregation (similarity rows,
+  importance stacking, message sequences) is bit-identical to the
+  serial loop;
+* **engine-state propagation** — the caller's :mod:`contextvars` context
+  (grad mode, compute dtype — see :mod:`repro.nn.tensor`) is captured at
+  submit time and entered by each worker, so a float32 / ``no_grad``
+  system run stays float32 / tape-free inside its workers while staying
+  isolated from unrelated threads;
+* **serial fallback** — ``max_workers`` of ``None``, 0 or 1 runs the
+  plain loop in the calling thread with zero thread overhead, which is
+  also the reference behavior parallel runs are asserted against.
+
+Worker counts: pass an explicit positive integer, or ``-1`` /
+``"auto"`` to use the host's CPU count.  Thread-based parallelism is the
+right fit for this engine because the heavy kernels (BLAS matmuls,
+ufuncs, sorts) release the GIL; on a single-core host the pool degrades
+gracefully to roughly serial wall-clock with identical results.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+WorkerSpec = Union[int, str, None]
+
+
+def resolve_workers(max_workers: WorkerSpec, num_tasks: Optional[int] = None) -> int:
+    """Normalize a worker spec to an effective worker count.
+
+    ``None`` / ``0`` / ``1`` mean serial; exactly ``-1`` or ``"auto"``
+    mean the host CPU count (other negatives raise, so a typo cannot
+    silently oversubscribe a shared machine); positive integers pass
+    through.  When ``num_tasks`` is given the count is clamped to it
+    (no idle workers).
+    """
+    if max_workers is None:
+        workers = 1
+    elif isinstance(max_workers, str):
+        if max_workers != "auto":
+            raise ValueError(f"unknown worker spec {max_workers!r}; use 'auto' or an int")
+        workers = os.cpu_count() or 1
+    else:
+        workers = int(max_workers)
+        if workers == -1:
+            workers = os.cpu_count() or 1
+        elif workers < 0:
+            raise ValueError(
+                f"invalid worker count {workers}; use -1 or 'auto' for the CPU count"
+            )
+        elif workers == 0:
+            workers = 1
+    if num_tasks is not None:
+        workers = min(workers, max(1, num_tasks))
+    return max(1, workers)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: WorkerSpec = None,
+    serial_if_stochastic: Sequence[object] = (),
+) -> List[R]:
+    """Apply ``fn`` to every item, possibly across threads.
+
+    Results are returned in input order regardless of completion order.
+    Each task runs inside a copy of the caller's ``contextvars`` context,
+    so engine settings scoped at the call site (``using_dtype``,
+    ``no_grad``) apply to the workers.  The first raised exception
+    propagates to the caller.
+
+    ``serial_if_stochastic`` names modules the tasks will forward
+    through **concurrently** (a shared backbone, pooled NAS ops, …).
+    If any of them would consume module-local RNG during a forward
+    (training-mode dropout — see
+    :func:`repro.nn.layers.has_active_stochastic_modules`), the call
+    drops to serial: concurrent draws from one numpy generator are
+    neither deterministic nor safe, and every fan-out site gets that
+    guard from here instead of re-implementing it.
+    """
+    if serial_if_stochastic:
+        from repro.nn.layers import has_active_stochastic_modules
+
+        if any(has_active_stochastic_modules(m) for m in serial_if_stochastic):
+            max_workers = None
+    items = list(items)
+    workers = resolve_workers(max_workers, num_tasks=len(items))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    # One context snapshot per task: tasks must not observe each other's
+    # engine-state mutations, only the caller's state at submit time.
+    contexts = [contextvars.copy_context() for _ in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(ctx.run, fn, item) for ctx, item in zip(contexts, items)
+        ]
+        return [future.result() for future in futures]
+
+
+def parallel_starmap(
+    fn: Callable[..., R],
+    argument_tuples: Sequence[tuple],
+    max_workers: WorkerSpec = None,
+) -> List[R]:
+    """:func:`parallel_map` for callables taking multiple arguments."""
+    return parallel_map(lambda args: fn(*args), list(argument_tuples), max_workers)

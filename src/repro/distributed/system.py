@@ -30,6 +30,7 @@ from repro.data.synthetic import SyntheticImageGenerator, make_cifar100_like
 from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
+from repro.distributed.executor import WorkerSpec
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import centralized_upload_bytes, relative_upload
 from repro.distributed.network import Network, TrafficStats
@@ -66,6 +67,14 @@ class ACMEConfig:
     #: to construction and ``run()`` (models are built in both) and
     #: restored on exit, so it never leaks into the rest of the process.
     compute_dtype: Optional[str] = None
+    #: Worker threads for the embarrassingly parallel cluster phases
+    #: (per-device importance rounds, finalize/eval, NAS child scoring).
+    #: ``None``/0/1 = serial; -1/"auto" = host CPU count.  The engine's
+    #: grad-mode and dtype switches are context-local, and per-device
+    #: work is state-disjoint with results in device order, so any value
+    #: reproduces the serial run bit-for-bit (tested under float64 in
+    #: tests/distributed/test_parallel_system.py).
+    parallel_devices: WorkerSpec = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -93,6 +102,12 @@ class ACMEConfig:
                 keep_fraction=0.8,
                 seed=self.seed,
             )
+        # Wire the cluster-level worker budget through the edge tier and
+        # into NAS child scoring, without clobbering explicit settings.
+        if self.edge.parallel_devices is None:
+            self.edge.parallel_devices = self.parallel_devices
+        if self.edge.nas is not None and self.edge.nas.parallel_workers is None:
+            self.edge.nas.parallel_workers = self.parallel_devices
 
 
 @dataclass
@@ -253,6 +268,9 @@ class ACMESystem:
             # Final fine-tune + evaluation (skipped in protocol-only runs,
             # e.g. the Table I traffic accounting where only byte counts
             # matter — payload sizes depend on shapes, not trained values).
+            # Fans out across the edge's parallel_devices workers, which
+            # __post_init__ seeded from cfg.parallel_devices unless the
+            # edge config set its own value explicitly.
             evals = edge.finalize() if cfg.finalize else []
             clusters.append(
                 ClusterResult(

@@ -4,6 +4,16 @@ This subpackage replaces PyTorch for the reproduction: a reverse-mode
 autograd :class:`~repro.nn.tensor.Tensor`, standard layers (Linear,
 LayerNorm, Conv2d, LSTM, multi-head self-attention), Transformer encoder
 blocks with maskable width/depth, and SGD/Adam optimizers.
+
+Engine state (grad mode via :func:`no_grad` / :func:`set_grad_enabled`,
+compute dtype via :func:`set_default_dtype` / :func:`using_dtype`) is
+**context-local**, never process-global: toggling it in one thread
+cannot drop another thread's autograd tape or change its precision.
+Shared module-level caches are audited for concurrent use (the im2col
+index LRU is internally locked with frozen read-only entries; the
+:func:`default_generator` fallback-init streams are per-thread), so
+layers can be constructed and run from the thread-parallel device
+loops in :mod:`repro.distributed.executor`.
 """
 
 from repro.nn import functional
@@ -29,6 +39,7 @@ from repro.nn.layers import (
     Module,
     Parameter,
     Sequential,
+    has_active_stochastic_modules,
 )
 from repro.nn.lstm import LSTM, LSTMCell
 from repro.nn.optim import Adam, Optimizer, SGD, clip_grad_norm
@@ -89,6 +100,7 @@ __all__ = [
     "enable_grad",
     "functional",
     "get_default_dtype",
+    "has_active_stochastic_modules",
     "im2col_cache_info",
     "is_grad_enabled",
     "json_nbytes",

@@ -45,7 +45,7 @@ class MultiHeadSelfAttention(Module):
             raise ValueError(
                 f"embed_dim {embed_dim} must be divisible by num_heads {num_heads}"
             )
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.embed_dim = embed_dim
         self.num_heads = num_heads
         self.head_dim = embed_dim // num_heads

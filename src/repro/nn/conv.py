@@ -66,6 +66,14 @@ def _build_indices(
 # stay in the tens of MB.  Call clear_im2col_cache() to release.
 _cached_indices = functools.lru_cache(maxsize=128)(_build_indices)
 
+# Thread-safety audit: the cache is shared by every thread running
+# conv/pool forwards (parallel device loops hit it concurrently).
+# CPython's C ``lru_cache`` is internally locked — lookups, insertion,
+# ``cache_clear`` and ``cache_info`` are each atomic without any
+# external lock (worst case two racing misses both build the same
+# arrays) — and the entries are marked read-only above so sharing them
+# across threads is safe.
+
 
 def set_im2col_cache_enabled(enabled: bool) -> None:
     """Toggle the index cache (benchmarks disable it to measure cold cost)."""
@@ -145,7 +153,7 @@ class Conv2d(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        # Fall back to the shared module-level stream (NOT a fresh
+        # Fall back to the shared per-thread stream (NOT a fresh
         # ``default_rng(0)``): convolutions built without an explicit rng
         # must not all receive identical weights.
         rng = rng if rng is not None else init.default_generator()

@@ -150,7 +150,9 @@ class Linear(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        # Fallback: the shared per-thread stream (see repro.nn.init), so
+        # two unseeded Linears never silently share identical weights.
+        rng = rng if rng is not None else init.default_generator()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
@@ -201,7 +203,7 @@ class Embedding(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(init.truncated_normal((num_embeddings, embedding_dim), rng))
@@ -209,6 +211,21 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
         return self.weight[indices]
+
+
+def has_active_stochastic_modules(module: Module) -> bool:
+    """True if a forward through ``module`` would consume module-local RNG.
+
+    Shared-model fan-outs (similarity feature extraction, NAS child
+    scoring) check this before going parallel: a training-mode
+    ``Dropout`` with ``p > 0`` draws from its per-module generator, and
+    concurrent draws from one numpy ``Generator`` are neither
+    deterministic nor safe — such models must be driven serially (or
+    switched to ``eval()``) to reproduce the serial run.
+    """
+    return any(
+        isinstance(m, Dropout) and m.p > 0 and m.training for m in module.modules()
+    )
 
 
 class Sequential(Module):
@@ -277,7 +294,7 @@ class MLP(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         out_features = out_features if out_features is not None else in_features
         self.hidden_features = hidden_features
         self.fc1 = Linear(in_features, hidden_features, rng=rng)

@@ -31,7 +31,7 @@ class LSTMCell(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.ih = Linear(input_size, 4 * hidden_size, rng=rng)

@@ -17,7 +17,7 @@ The design follows the classic define-by-run tape:
 The engine is intentionally small but complete enough to train Vision
 Transformers, convolutional headers and LSTM controllers on CPU.
 
-Two global switches control the engine's speed/accuracy trade-off:
+Two switches control the engine's speed/accuracy trade-off:
 
 * **grad mode** — :func:`no_grad` / :func:`set_grad_enabled` disable the
   tape: inside a disabled region no parents or backward closures are
@@ -25,17 +25,26 @@ Two global switches control the engine's speed/accuracy trade-off:
 * **default dtype** — :func:`set_default_dtype` selects the compute
   precision (float64 by default; float32 roughly halves memory traffic
   and is the recommended inference/serving mode).
+
+Both switches are **context-local** (:mod:`contextvars`), not module
+globals: a ``no_grad()`` or ``using_dtype()`` region entered in one
+thread cannot drop another thread's tape or flip its dtype, which is
+what makes the thread-parallel device loops in
+:mod:`repro.distributed.executor` safe.  Threads started outside
+:func:`repro.distributed.executor.parallel_map` begin from the engine
+defaults (grad on, float64); the executor instead captures the caller's
+context at submit time so scoped settings (e.g. a float32 system run)
+propagate to its workers.
 """
 
 from __future__ import annotations
 
+import contextvars
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
-
-_DEFAULT_DTYPE = np.float64
 
 #: Supported compute dtypes, keyed by their canonical names.
 _SUPPORTED_DTYPES = {
@@ -43,28 +52,38 @@ _SUPPORTED_DTYPES = {
     "float64": np.float64,
 }
 
-# Tape recording state.  ``_GRAD_ENABLED`` is toggled by ``no_grad`` /
-# ``set_grad_enabled``; ``_GRAD_OVERRIDE`` (benchmark-only) pins the mode
-# regardless of ``no_grad`` regions so the pre-fast-path engine behavior
-# can be reproduced for timing comparisons.
-_GRAD_ENABLED = True
-_GRAD_OVERRIDE: Optional[bool] = None
+#: Engine compute precision for newly created tensors (context-local).
+_DEFAULT_DTYPE_VAR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_default_dtype", default=np.float64
+)
+
+# Tape recording state.  ``_GRAD_ENABLED_VAR`` is toggled by ``no_grad``
+# / ``set_grad_enabled``; ``_GRAD_OVERRIDE_VAR`` (benchmark-only) pins
+# the mode regardless of ``no_grad`` regions so the pre-fast-path engine
+# behavior can be reproduced for timing comparisons.
+_GRAD_ENABLED_VAR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
+_GRAD_OVERRIDE_VAR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_grad_override", default=None
+)
 
 # ``numpy.power`` with a small integer exponent routes through libm pow
 # and is ~100x slower than repeated multiplication on large arrays; the
 # engine expands those exponents by hand.  ``_set_fast_pow(False)`` is a
 # benchmark-only switch restoring the libm behavior of the seed engine.
-_FAST_POW = True
+_FAST_POW_VAR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_fast_pow", default=True
+)
 
 
 def _set_fast_pow(enabled: bool) -> None:
-    global _FAST_POW
-    _FAST_POW = bool(enabled)
+    _FAST_POW_VAR.set(bool(enabled))
 
 
 def _pow(base: np.ndarray, exponent) -> np.ndarray:
     """``base ** exponent`` with small integer/half exponents expanded."""
-    if _FAST_POW:
+    if _FAST_POW_VAR.get():
         if exponent == 2:
             return base * base
         if exponent == 3:
@@ -101,18 +120,20 @@ def _resolve_dtype(dtype):
 
 
 def set_default_dtype(dtype) -> None:
-    """Set the engine-wide compute dtype (``"float32"`` or ``"float64"``).
+    """Set the engine compute dtype (``"float32"`` or ``"float64"``).
 
     Applies to tensors created afterwards; existing tensors keep their
-    dtype (convert modules with :meth:`repro.nn.Module.astype`).
+    dtype (convert modules with :meth:`repro.nn.Module.astype`).  The
+    setting is context-local: it affects the calling thread (and any
+    executor workers that copy its context), never a concurrently
+    running thread.
     """
-    global _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = _resolve_dtype(dtype)
+    _DEFAULT_DTYPE_VAR.set(_resolve_dtype(dtype))
 
 
 def get_default_dtype():
-    """The dtype new tensors are created with."""
-    return _DEFAULT_DTYPE
+    """The dtype new tensors are created with (in the current context)."""
+    return _DEFAULT_DTYPE_VAR.get()
 
 
 class using_dtype:
@@ -123,7 +144,7 @@ class using_dtype:
         self._previous = None
 
     def __enter__(self) -> "using_dtype":
-        self._previous = _DEFAULT_DTYPE
+        self._previous = _DEFAULT_DTYPE_VAR.get()
         set_default_dtype(self._dtype)
         return self
 
@@ -133,16 +154,20 @@ class using_dtype:
 
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autograd tape."""
-    if _GRAD_OVERRIDE is not None:
-        return _GRAD_OVERRIDE
-    return _GRAD_ENABLED
+    override = _GRAD_OVERRIDE_VAR.get()
+    if override is not None:
+        return override
+    return _GRAD_ENABLED_VAR.get()
 
 
 def set_grad_enabled(mode: bool) -> bool:
-    """Globally enable/disable tape recording; returns the previous mode."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = bool(mode)
+    """Enable/disable tape recording for the current context.
+
+    Returns the previous mode.  Context-local: one thread's setting is
+    invisible to other threads.
+    """
+    previous = _GRAD_ENABLED_VAR.get()
+    _GRAD_ENABLED_VAR.set(bool(mode))
     return previous
 
 
@@ -152,8 +177,7 @@ def _set_grad_override(mode: Optional[bool]) -> None:
     Pass ``True`` to force recording (emulating the engine before the
     inference fast path existed), ``None`` to restore normal behavior.
     """
-    global _GRAD_OVERRIDE
-    _GRAD_OVERRIDE = mode
+    _GRAD_OVERRIDE_VAR.set(mode)
 
 
 class _GradMode:
@@ -210,12 +234,13 @@ def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(data, np.ndarray):
         if dtype is not None:
             return data if data.dtype == dtype else data.astype(dtype)
+        default = _DEFAULT_DTYPE_VAR.get()
         if data.dtype.kind in "fc":
-            if data.dtype.kind == "f" and data.dtype.itemsize > np.dtype(_DEFAULT_DTYPE).itemsize:
-                return data.astype(_DEFAULT_DTYPE)
+            if data.dtype.kind == "f" and data.dtype.itemsize > np.dtype(default).itemsize:
+                return data.astype(default)
             return data
-        return data.astype(_DEFAULT_DTYPE)
-    return np.asarray(data, dtype=dtype or _DEFAULT_DTYPE)
+        return data.astype(default)
+    return np.asarray(data, dtype=dtype or _DEFAULT_DTYPE_VAR.get())
 
 
 def _index_is_unique(index) -> bool:
@@ -730,8 +755,8 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
 
 def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE_VAR.get()), requires_grad=requires_grad)
 
 
 def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE_VAR.get()), requires_grad=requires_grad)

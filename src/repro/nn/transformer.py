@@ -18,6 +18,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.nn import init
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, LayerNorm, MLP, Module
 from repro.nn.tensor import Tensor
@@ -35,7 +36,7 @@ class TransformerEncoderLayer(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         hidden = int(embed_dim * mlp_ratio)
         self.norm1 = LayerNorm(embed_dim)
         self.attn = MultiHeadSelfAttention(embed_dim, num_heads, rng=rng)
@@ -71,7 +72,7 @@ class TransformerEncoder(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.depth = depth
         self.layers: List[TransformerEncoderLayer] = []
         for i in range(depth):

@@ -1,0 +1,19 @@
+"""Suite-wide fixtures: deterministic engine state for every test.
+
+The autouse fixture makes each test start from the same engine state
+(fallback-init stream at seed 0, float64, grad on, cold caches), so the
+suite is order-independent: tests that build unseeded modules draw from
+a freshly reset stream instead of inheriting whatever position the
+previous test left it at.  This is what keeps the suite safe under
+random test ordering without requiring ``-p no:randomly``.
+"""
+
+import pytest
+
+from tests.helpers import reset_engine_state
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_engine_state():
+    reset_engine_state()
+    yield

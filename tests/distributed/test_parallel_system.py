@@ -1,0 +1,222 @@
+"""Parallel multi-device execution reproduces the serial run exactly.
+
+``ACMEConfig.parallel_devices`` fans the cluster phases (importance
+rounds, finalize/eval, NAS child scoring, similarity feature extraction)
+out across worker threads.  Because per-device work is state-disjoint,
+results are collected in device order, and the engine's grad/dtype
+switches are context-local, any worker count must reproduce the serial
+float64 run **bit-for-bit** — these tests assert exactly that, end to
+end and phase by phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nas import HeaderSearch, NASConfig
+from repro.core.similarity import build_similarity_matrix
+from repro.data.synthetic import make_cifar100_like
+from repro.distributed import ACMEConfig, ACMESystem
+from repro.models.vit import ViTConfig, VisionTransformer
+
+
+def _small_config(**overrides) -> ACMEConfig:
+    base = dict(
+        num_clusters=1,
+        devices_per_cluster=4,
+        num_classes=6,
+        samples_per_class=18,
+        compute_dtype="float64",
+        seed=0,
+    )
+    base.update(overrides)
+    return ACMEConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel_runs():
+    # Module-scoped fixtures set up BEFORE the function-scoped autouse
+    # reset in tests/conftest.py, so reset explicitly: these runs must
+    # not inherit engine state from whichever test happened to run last.
+    from tests.helpers import reset_engine_state
+
+    reset_engine_state()
+    serial = ACMESystem(_small_config()).run()
+    parallel = ACMESystem(_small_config(parallel_devices=4)).run()
+    return serial, parallel
+
+
+class TestEndToEndParity:
+    def test_accuracies_bit_for_bit(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        for cs, cp in zip(serial.clusters, parallel.clusters):
+            assert cs.device_accuracies == cp.device_accuracies
+            assert cs.device_losses == cp.device_losses
+            assert (cs.width, cs.depth) == (cp.width, cp.depth)
+
+    def test_message_sequence_identical(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        assert serial.message_kinds == parallel.message_kinds
+
+    def test_traffic_ledger_identical(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        assert serial.traffic.upload_bytes == parallel.traffic.upload_bytes
+        assert serial.traffic.download_bytes == parallel.traffic.download_bytes
+        assert serial.traffic.by_kind == parallel.traffic.by_kind
+
+    def test_mean_accuracy_identical(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        assert serial.mean_accuracy == parallel.mean_accuracy
+
+
+class TestPhaseParity:
+    def test_finalize_parallel_matches_serial_per_device(self):
+        """finalize() with workers equals the serial loop, device by device."""
+        serial_system = ACMESystem(_small_config(finalize=False))
+        serial_system.run()
+        parallel_system = ACMESystem(_small_config(finalize=False))
+        parallel_system.run()
+
+        serial_evals = serial_system.edges[0].finalize(max_workers=1)
+        parallel_evals = parallel_system.edges[0].finalize(max_workers=4)
+        assert [e["accuracy"] for e in serial_evals] == [
+            e["accuracy"] for e in parallel_evals
+        ]
+        assert [e["loss"] for e in serial_evals] == [e["loss"] for e in parallel_evals]
+
+    def test_similarity_matrices_identical(self):
+        serial_system = ACMESystem(_small_config(finalize=False))
+        serial_system.run()
+        parallel_system = ACMESystem(_small_config(finalize=False, parallel_devices=4))
+        parallel_system.run()
+        for es, ep in zip(serial_system.edges, parallel_system.edges):
+            np.testing.assert_array_equal(es.similarity, ep.similarity)
+
+    def test_build_similarity_matrix_worker_parity(self):
+        generator = make_cifar100_like(num_classes=4, image_size=16, seed=0)
+        datasets = [
+            generator.generate(8, seed=10 + i, name=f"d{i}") for i in range(4)
+        ]
+        model = VisionTransformer(
+            ViTConfig(num_classes=4, depth=2, embed_dim=32), seed=0
+        )
+        serial = build_similarity_matrix(model, datasets, max_workers=None)
+        parallel = build_similarity_matrix(model, datasets, max_workers=4)
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_stochastic_shared_model_stays_deterministic(self):
+        """Training-mode dropout forces the shared-model fan-out serial:
+        concurrent draws from one per-module Generator would be neither
+        deterministic nor safe, so worker counts must not change the
+        matrix even then."""
+        from repro.nn import has_active_stochastic_modules
+
+        generator = make_cifar100_like(num_classes=4, image_size=16, seed=0)
+        datasets = [
+            generator.generate(8, seed=20 + i, name=f"d{i}") for i in range(3)
+        ]
+
+        def fresh_model():
+            model = VisionTransformer(
+                ViTConfig(num_classes=4, depth=2, embed_dim=32, dropout=0.2), seed=0
+            )
+            model.train()
+            return model
+
+        assert has_active_stochastic_modules(fresh_model())
+        serial = build_similarity_matrix(fresh_model(), datasets, max_workers=None)
+        parallel = build_similarity_matrix(fresh_model(), datasets, max_workers=4)
+        np.testing.assert_array_equal(serial, parallel)
+
+
+class TestAggregationParity:
+    def test_personalized_aggregation_worker_parity(self):
+        """Algorithm 2's library entry point: any worker count produces
+        bit-identical weights and pruning masks."""
+        from repro.core.aggregation import personalized_architecture_aggregation
+        from repro.models.blocks import HeaderSpec
+        from repro.models.header_dag import DAGHeader
+
+        generator = make_cifar100_like(num_classes=4, image_size=16, seed=0)
+        datasets = [
+            generator.generate(8, seed=30 + i, name=f"d{i}") for i in range(3)
+        ]
+
+        def run(workers):
+            backbone = VisionTransformer(
+                ViTConfig(num_classes=4, depth=2, embed_dim=32), seed=0
+            )
+            spec = HeaderSpec.from_sequence([0, 1, 0, 2])
+            headers = [
+                DAGHeader(
+                    32,
+                    backbone.config.num_patches,
+                    4,
+                    spec,
+                    rng=np.random.default_rng(i),
+                )
+                for i in range(3)
+            ]
+            return personalized_architecture_aggregation(
+                backbone, headers, datasets, num_rounds=1, max_workers=workers
+            )
+
+        serial, parallel = run(None), run(4)
+        np.testing.assert_array_equal(serial.weights, parallel.weights)
+        for hs, hp in zip(serial.headers, parallel.headers):
+            assert set(hs._parameter_mask) == set(hp._parameter_mask)
+            for key in hs._parameter_mask:
+                np.testing.assert_array_equal(
+                    hs._parameter_mask[key], hp._parameter_mask[key]
+                )
+
+
+class TestNASParity:
+    def _search(self, workers):
+        backbone = VisionTransformer(
+            ViTConfig(num_classes=4, depth=2, embed_dim=32), seed=0
+        )
+        config = NASConfig(
+            num_blocks=2,
+            search_epochs=1,
+            children_per_epoch=1,
+            shared_steps_per_child=1,
+            controller_updates_per_epoch=2,
+            derive_samples=3,
+            train_backbone=False,
+            parallel_workers=workers,
+            seed=0,
+        )
+        generator = make_cifar100_like(num_classes=4, image_size=16, seed=0)
+        dataset = generator.generate(10, seed=5, name="nas")
+        search = HeaderSearch(backbone, 4, config)
+        return search.search(dataset)
+
+    def test_parallel_child_scoring_matches_serial(self):
+        serial = self._search(workers=None)
+        parallel = self._search(workers=4)
+        assert serial.spec.to_sequence() == parallel.spec.to_sequence()
+        assert serial.best_reward == parallel.best_reward
+        assert serial.reward_history == parallel.reward_history
+
+
+class TestConfigWiring:
+    def test_parallel_devices_propagates_to_edge_and_nas(self):
+        config = _small_config(parallel_devices=3)
+        assert config.edge.parallel_devices == 3
+        assert config.edge.nas.parallel_workers == 3
+
+    def test_explicit_edge_setting_not_clobbered(self):
+        from repro.core.nas import NASConfig
+        from repro.distributed.edge import EdgeConfig
+
+        edge = EdgeConfig(
+            nas=NASConfig(seed=0, parallel_workers=2), parallel_devices=2, seed=0
+        )
+        config = _small_config(parallel_devices=8, edge=edge)
+        assert config.edge.parallel_devices == 2
+        assert config.edge.nas.parallel_workers == 2
+
+    def test_default_stays_serial(self):
+        config = _small_config()
+        assert config.edge.parallel_devices is None
+        assert config.edge.nas.parallel_workers is None

@@ -1,4 +1,15 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: gradient checking and deterministic seeding.
+
+Seeding discipline: the engine keeps a small amount of process-wide
+state (the per-thread fallback-init streams of ``repro.nn.init``, the
+im2col index cache, the similarity projection cache) plus context-local
+grad/dtype switches.  :func:`reset_engine_state` restores all of it to
+the import-time defaults; ``tests/conftest.py`` applies it around every
+test so the suite passes under any test ordering — including
+``pytest-randomly``-style shuffling (``-p no:randomly`` is never
+required for correctness) — even though unseeded modules now draw from
+a shared stream whose position depends on construction history.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +18,28 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+
+def fresh_rng(seed: int = 0) -> np.random.Generator:
+    """A private, order-independent generator for one test."""
+    return np.random.default_rng(seed)
+
+
+def reset_engine_state() -> None:
+    """Restore every piece of shared engine state to import-time defaults."""
+    from repro import nn
+    from repro.core import similarity
+    from repro.nn.tensor import _set_fast_pow, _set_grad_override
+
+    nn.set_seed(0)
+    nn.set_default_dtype("float64")
+    nn.set_grad_enabled(True)
+    _set_grad_override(None)
+    _set_fast_pow(True)
+    nn.set_im2col_cache_enabled(True)
+    nn.clear_im2col_cache()
+    similarity.set_vectorized(True)
+    similarity.clear_projection_cache()
 
 
 def numerical_gradient(

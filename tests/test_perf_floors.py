@@ -1,0 +1,56 @@
+"""Tier-1 replay of the BENCH_perf.json speedup floors.
+
+The perf benches assert their floors at measurement time; this test
+replays them from the committed trajectory file on every test run so a
+perf regression (or a hand-edited / truncated trajectory) fails tier-1,
+not just the occasional bench invocation.  See scripts/check_floors.py.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_floors():
+    spec = importlib.util.spec_from_file_location(
+        "check_floors", REPO_ROOT / "scripts" / "check_floors.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPerfFloors:
+    def test_trajectory_file_is_valid(self):
+        module = _load_check_floors()
+        data = module.load_trajectory()
+        labels = [r.get("label") for r in data["results"]]
+        assert len(labels) == len(set(labels)), f"duplicate perf labels: {labels}"
+        # The trajectory must keep covering both the PR 1 hot paths and
+        # the PR 2 parallel cluster phase.
+        assert "conv_forward_warm_cache" in labels
+        assert "cluster_finalize_makespan_4workers" in labels
+
+    def test_recorded_floors_hold(self):
+        module = _load_check_floors()
+        failures = module.check_floors()
+        assert not failures, "\n".join(failures)
+
+    def test_parallel_cluster_phase_floor(self):
+        """The headline PR 2 number: >=1.5x cluster-phase speedup on 4 workers."""
+        module = _load_check_floors()
+        data = module.load_trajectory()
+        record = next(
+            r
+            for r in data["results"]
+            if r.get("label") == "cluster_finalize_makespan_4workers"
+        )
+        assert record["floor"] >= 1.5
+        assert record["speedup"] >= 1.5
+
+    def test_checker_cli_passes_on_committed_file(self, capsys):
+        module = _load_check_floors()
+        assert module.main(["check_floors.py"]) == 0
+        assert "ok:" in capsys.readouterr().out
