@@ -25,6 +25,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_perf_hotpaths.py
 from __future__ import annotations
 
 import sys
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -59,8 +60,9 @@ def engine_mode(fast: bool):
     Slow mode reproduces the pre-perf-PR engine: float64 compute, tape
     recording forced even inside ``no_grad`` regions (which also disables
     the tape-free conv/pool kernels), ``libm``-pow integer exponents,
-    im2col indices rebuilt on every forward, and the per-pair similarity
-    loops.
+    im2col indices rebuilt on every forward, the per-pair similarity
+    loops, and allocate-per-accumulation gradients (the PR 3 in-place
+    engine switched off).
     """
     previous_dtype = nn_tensor.get_default_dtype()
     try:
@@ -68,12 +70,14 @@ def engine_mode(fast: bool):
             nn_tensor.set_default_dtype("float32")
             nn_tensor._set_grad_override(None)
             nn_tensor._set_fast_pow(True)
+            nn_tensor._set_inplace_accumulation(True)
             nn_conv.set_im2col_cache_enabled(True)
             similarity.set_vectorized(True)
         else:
             nn_tensor.set_default_dtype("float64")
             nn_tensor._set_grad_override(True)
             nn_tensor._set_fast_pow(False)
+            nn_tensor._set_inplace_accumulation(False)
             nn_conv.set_im2col_cache_enabled(False)
             similarity.set_vectorized(False)
         nn_conv.clear_im2col_cache()
@@ -82,6 +86,7 @@ def engine_mode(fast: bool):
         nn_tensor.set_default_dtype(previous_dtype)
         nn_tensor._set_grad_override(None)
         nn_tensor._set_fast_pow(True)
+        nn_tensor._set_inplace_accumulation(True)
         nn_conv.set_im2col_cache_enabled(True)
         similarity.set_vectorized(True)
 
@@ -143,9 +148,9 @@ def bench_similarity_matrix():
     )
 
 
-def _small_system_config(compute_dtype: str) -> ACMEConfig:
+def _small_system_config(fast: bool) -> ACMEConfig:
     vit = ViTConfig(num_classes=6, depth=3, embed_dim=32, num_heads=4)
-    return ACMEConfig(
+    config = ACMEConfig(
         num_clusters=1,
         devices_per_cluster=3,
         num_classes=6,
@@ -158,29 +163,43 @@ def _small_system_config(compute_dtype: str) -> ACMEConfig:
             distill=DistillConfig(epochs=1, seed=0),
             seed=0,
         ),
-        compute_dtype=compute_dtype,
+        compute_dtype="float32" if fast else "float64",
         seed=0,
     )
+    if not fast:
+        # Seed equivalence also means no PR 3 batched serving: one
+        # backbone forward per device/child, like the original loops.
+        config.edge.batched_serving = False
+        config.edge.nas.batched_scoring = False
+    return config
 
 
 def bench_system_run():
     """End-to-end ``ACMESystem().run()`` on a 1-cluster, 3-device config.
 
     Construction (data generation, node wiring) happens outside the
-    timer; the timed region is the full Fig. 4 pipeline.  One timed run
-    per mode — the pipeline is long enough that per-run noise is small
-    relative to the asserted 2× floor.
+    timer; the timed region is the full Fig. 4 pipeline.  Three timed
+    runs per mode (fresh system each, so no warm training state leaks
+    between runs) — best-of-3 keeps shared-machine noise away from the
+    asserted 2× floor.
     """
 
     def run_mode(fast: bool):
+        times = []
+        result_box = {}
         with engine_mode(fast):
-            system = ACMESystem(_small_system_config("float32" if fast else "float64"))
-            result_box = {}
-
-            def step():
+            for _ in range(3):
+                system = ACMESystem(_small_system_config(fast))
+                start = time.perf_counter()
                 result_box["result"] = system.run()
-
-            measurement = timed(step, repeats=1, warmup=0)
+                times.append(time.perf_counter() - start)
+        measurement = {
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "repeats": len(times),
+            "warmup": 0,
+            "times_s": times,
+        }
         return measurement, result_box["result"]
 
     fast, fast_result = run_mode(True)

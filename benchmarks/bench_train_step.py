@@ -1,0 +1,241 @@
+"""Perf trajectory bench: the allocation-lean training core vs the seed path.
+
+Three comparisons, the first and last asserting hard speedup floors so
+regressions fail loudly:
+
+* **fused Adam step** — flat-group fused in-place Adam vs the seed
+  implementation (~6 fresh temporaries and ~15 numpy calls per parameter
+  per step) on a header-fleet-like parameter set: 32 headers × 32
+  tensors, 1024 tensors total.  Floor: 2×.
+* **fused SGD step** — same fleet with momentum.  Floor: 1.5×.
+* **end-to-end ``train_header``** — fused optimizer + fused
+  ``clip_grad_norm`` + in-place gradient accumulation + grad-buffer
+  reuse + precomputed frozen-backbone features, vs the seed-equivalent
+  path (reference optimizer/clip, allocate-per-accumulation engine,
+  per-batch backbone forwards).  Floor: 1.2×.
+
+Each optimizer record carries ``tracemalloc`` steady-state step peaks
+(``fast_step_peak_bytes`` ≈ 0 vs megabytes for the baseline), and both
+optimizer benches assert the fused and reference parameter trajectories
+stay **bit-for-bit identical** while they time them.
+
+Results are persisted machine-readably to ``bench_results/`` and merged
+into ``BENCH_perf.json`` at the repo root — the file future perf PRs are
+measured against (floors replayed in tier-1 by ``tests/test_perf_floors.py``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_train_step.py
+  or: PYTHONPATH=src python -m pytest benchmarks/bench_train_step.py -s
+``--smoke`` runs tiny shapes with no floor assertions and without
+touching ``BENCH_perf.json`` (wired into tier-1 so this script cannot
+rot between perf PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_perf, perf_record, timed
+
+from repro.data.synthetic import make_cifar100_like
+from repro.models.blocks import HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.models.vit import VisionTransformer, ViTConfig
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor, _set_inplace_accumulation
+from repro.train.trainer import TrainConfig, train_header
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Floors asserted by emit_perf — regressions below these fail the bench.
+ADAM_FLOOR = 2.0
+SGD_FLOOR = 1.5
+TRAIN_HEADER_FLOOR = 1.2
+
+
+def _fleet_shapes(smoke: bool):
+    """A cluster-of-headers parameter set: many small tensors.
+
+    This is the regime edge fleets live in (dozens of personalized
+    headers, each a few dozen weight/bias tensors) and the one where the
+    seed optimizer's per-tensor dispatch and temporaries dominate.
+    """
+    headers = 2 if smoke else 32
+    dim = 8 if smoke else 24
+    return ([(dim, dim)] * 16 + [(dim,)] * 16) * headers
+
+
+def _make_params(shapes):
+    rng = np.random.default_rng(0)
+    params = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+    grad_rng = np.random.default_rng(1)
+    for p in params:
+        p.grad = grad_rng.normal(size=p.data.shape)
+    return params
+
+
+def _step_peak_bytes(optimizer) -> int:
+    """tracemalloc peak of one steady-state step (after warm-up)."""
+    tracemalloc.start()
+    optimizer.step()
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def bench_optimizer_step(opt_cls, label: str, floor, smoke: bool, **opt_kwargs):
+    shapes = _fleet_shapes(smoke)
+    repeats = 3 if smoke else 20
+
+    def run_mode(fused: bool):
+        params = _make_params(shapes)
+        optimizer = opt_cls(params, lr=1e-3, fused=fused, **opt_kwargs)
+        measurement = timed(optimizer.step, repeats=repeats, warmup=3)
+        peak = _step_peak_bytes(optimizer)
+        return measurement, peak, params
+
+    fast, fast_peak, fast_params = run_mode(True)
+    baseline, baseline_peak, baseline_params = run_mode(False)
+    # Both modes ran the same number of steps from identical state: the
+    # fused trajectory must match the reference bit-for-bit.
+    for a, b in zip(fast_params, baseline_params):
+        np.testing.assert_array_equal(a.data, b.data)
+    return perf_record(
+        label,
+        fast=fast,
+        baseline=baseline,
+        floor=floor,
+        tensors=len(shapes),
+        total_scalars=int(sum(int(np.prod(s)) for s in shapes)),
+        fast_step_peak_bytes=fast_peak,
+        baseline_step_peak_bytes=baseline_peak,
+    )
+
+
+# ----------------------------------------------------------------------
+def _train_header_setup(smoke: bool):
+    vit = ViTConfig(
+        num_classes=8, depth=1 if smoke else 3, embed_dim=32, num_heads=4
+    )
+    generator = make_cifar100_like(num_classes=8, image_size=16, seed=0)
+    dataset = generator.generate(samples_per_class=4 if smoke else 12, seed=1)
+    spec = HeaderSpec.from_sequence([0, 1, 0, 2, 1, 2, 2, 0])
+    config = TrainConfig(epochs=1 if smoke else 3, batch_size=16, seed=0)
+    return vit, dataset, spec, config
+
+
+def bench_train_header(smoke: bool):
+    """End-to-end frozen-backbone header training, fast vs seed path."""
+    vit, dataset, spec, base_config = _train_header_setup(smoke)
+    backbone = VisionTransformer(vit, seed=0)
+    repeats = 2 if smoke else 5
+
+    def run_once(fused: bool, trace: bool = False):
+        header = DAGHeader(
+            vit.embed_dim, vit.num_patches, vit.num_classes, spec,
+            rng=np.random.default_rng(0),
+        )
+        config = TrainConfig(
+            epochs=base_config.epochs,
+            batch_size=base_config.batch_size,
+            seed=base_config.seed,
+            fused_optimizer=fused,
+            cached_frozen_features=fused,
+        )
+        _set_inplace_accumulation(fused)
+        try:
+            if trace:
+                tracemalloc.start()
+            start = time.perf_counter()
+            report = train_header(backbone, header, dataset, config)
+            elapsed = time.perf_counter() - start
+            peak = None
+            if trace:
+                _current, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+        finally:
+            _set_inplace_accumulation(True)
+        return elapsed, report, peak
+
+    def run_mode(fused: bool):
+        run_once(fused)  # warm caches (im2col indices, allocator pools)
+        times, report = [], None
+        for _ in range(repeats):
+            elapsed, report, _peak = run_once(fused)
+            times.append(elapsed)
+        _elapsed, _report, peak = run_once(fused, trace=True)
+        measurement = {
+            "best_s": min(times),
+            "mean_s": sum(times) / len(times),
+            "repeats": repeats,
+            "warmup": 1,
+            "times_s": times,
+        }
+        return measurement, report, peak
+
+    fast, fast_report, fast_peak = run_mode(True)
+    baseline, baseline_report, baseline_peak = run_mode(False)
+    # The allocation-lean path must not change the training trace.
+    np.testing.assert_allclose(
+        fast_report.epoch_losses, baseline_report.epoch_losses, rtol=1e-9
+    )
+    assert fast_report.epoch_accuracies == baseline_report.epoch_accuracies
+    return perf_record(
+        "train_header_end_to_end",
+        fast=fast,
+        baseline=baseline,
+        floor=None if smoke else TRAIN_HEADER_FLOOR,
+        epochs=base_config.epochs,
+        batch_size=base_config.batch_size,
+        final_loss=fast_report.final_loss,
+        final_accuracy=fast_report.final_accuracy,
+        fast_run_peak_bytes=fast_peak,
+        baseline_run_peak_bytes=baseline_peak,
+    )
+
+
+def run_bench(smoke: bool = False):
+    records = [
+        bench_optimizer_step(
+            Adam,
+            "adam_step_fused_fleet",
+            None if smoke else ADAM_FLOOR,
+            smoke,
+        ),
+        bench_optimizer_step(
+            SGD,
+            "sgd_step_fused_fleet",
+            None if smoke else SGD_FLOOR,
+            smoke,
+            momentum=0.9,
+        ),
+        bench_train_header(smoke),
+    ]
+    # Smoke runs exercise the full pipeline but never touch the committed
+    # trajectory file or the full run's bench_results records.
+    return emit_perf(
+        "bench_train_step_smoke" if smoke else "bench_train_step",
+        records,
+        path=None if smoke else REPO_ROOT / "BENCH_perf.json",
+    )
+
+
+def test_train_step_bench():
+    run_bench()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny shapes, no floor assertions, BENCH_perf.json untouched",
+    )
+    run_bench(smoke=parser.parse_args().smoke)

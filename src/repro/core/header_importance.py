@@ -82,7 +82,9 @@ def compute_importance_set(
             features = BackboneFeatures(cls.detach(), tokens.detach(), penult.detach())
             logits = header(features)
             loss = F.cross_entropy(logits, labels)
-            header.zero_grad()
+            # Buffer-reuse mode: each batch's backward accumulates into
+            # the previous batch's grad arrays instead of fresh ones.
+            header.zero_grad(reuse_buffers=True)
             loss.backward()
 
             # Eq. (17)-(18): per-parameter (g · υ)², accumulated per batch.

@@ -92,6 +92,13 @@ class NASConfig:
     #: then scored concurrently (pure inference, deterministic results in
     #: sample order).  ``None``/0/1 = serial; -1/"auto" = CPU count.
     parallel_workers: Union[int, str, None] = None
+    #: Serve the scoring batches' backbone features from one stacked
+    #: tape-free forward shared by every child (repro.train.serving)
+    #: instead of recomputing them per child — numerically identical
+    #: rewards, and the main amortization lever when ``train_backbone``
+    #: keeps the per-child feature cache disabled.  Skipped when the
+    #: backbone has active stochastic modules (training-mode dropout).
+    batched_scoring: bool = True
     seed: int = 0
 
 
@@ -199,14 +206,21 @@ class HeaderSearch:
         return self._evaluate_child(self.build_child(spec), dataset, max_batches)
 
     def _evaluate_child(
-        self, child: DAGHeader, dataset: ArrayDataset, max_batches: int = 4
+        self,
+        child: DAGHeader,
+        dataset: ArrayDataset,
+        max_batches: int = 4,
+        features_by_batch: Optional[Dict[int, BackboneFeatures]] = None,
     ) -> float:
         """Score an already-built child — the parallelizable inner task.
 
         Pure inference over shared (frozen-for-scoring) weights: safe to
-        run concurrently for many children.  The feature cache may be
-        filled redundantly by racing workers, but every writer computes
-        the identical value, so results don't depend on scheduling.
+        run concurrently for many children.  ``features_by_batch`` (from
+        :meth:`_prefetch_scoring_features`) supplies pre-served backbone
+        features keyed by batch index so scoring skips the backbone
+        entirely; without it, the feature cache may be filled redundantly
+        by racing workers, but every writer computes the identical value,
+        so results don't depend on scheduling.
         """
         loader = DataLoader(
             dataset,
@@ -221,11 +235,71 @@ class HeaderSearch:
             for batch_idx, (images, labels) in enumerate(loader):
                 if batch_idx >= max_batches:
                     break
-                features = self._features(images, key=(id(dataset), batch_idx))
+                if features_by_batch is not None and batch_idx in features_by_batch:
+                    features = features_by_batch[batch_idx]
+                else:
+                    features = self._features(images, key=(id(dataset), batch_idx))
                 logits = child(features)
                 correct += int((logits.data.argmax(axis=-1) == labels).sum())
                 total += labels.shape[0]
         return correct / max(1, total)
+
+    def _prefetch_scoring_features(
+        self, dataset: ArrayDataset, max_batches: int
+    ) -> Optional[Dict[int, BackboneFeatures]]:
+        """Backbone features for the scoring batches, one stacked forward.
+
+        The scoring loop visits the same first ``max_batches`` validation
+        batches for every child; serving them through a single batched
+        tape-free forward (:mod:`repro.train.serving`) amortizes the
+        backbone cost across the whole child cohort while producing
+        bit-identical features.  With a frozen backbone the persistent
+        ``_feature_cache`` is consulted first and fed afterwards, so
+        repeated ``_score_specs`` calls (one per controller update plus
+        derivation) run the stacked forward at most once per dataset.
+        Returns ``None`` (fall back to per-child computation) when
+        batching is disabled or the backbone would consume module-local
+        RNG.
+        """
+        from repro.nn.layers import has_active_stochastic_modules
+
+        if not self.config.batched_scoring or has_active_stochastic_modules(
+            self.backbone
+        ):
+            return None
+        loader = DataLoader(
+            dataset,
+            batch_size=self.config.batch_size,
+            shuffle=False,
+            rng=np.random.default_rng(0),
+        )
+        batches = []
+        for batch_idx, (images, _labels) in enumerate(loader):
+            if batch_idx >= max_batches:
+                break
+            batches.append((batch_idx, images))
+        if not batches:
+            return None
+        frozen = not self.config.train_backbone
+        features_by_batch: Dict[int, BackboneFeatures] = {}
+        missing = []
+        for batch_idx, images in batches:
+            cached = self._feature_cache.get((id(dataset), batch_idx)) if frozen else None
+            if cached is not None:
+                features_by_batch[batch_idx] = cached
+            else:
+                missing.append((batch_idx, images))
+        if missing:
+            from repro.train.serving import batched_forward_features_multi
+
+            computed = batched_forward_features_multi(
+                self.backbone, [images for _idx, images in missing]
+            )
+            for (batch_idx, _images), features in zip(missing, computed):
+                features_by_batch[batch_idx] = features
+                if frozen:
+                    self._feature_cache[(id(dataset), batch_idx)] = features
+        return features_by_batch
 
     def _score_specs(
         self, specs: List[HeaderSpec], dataset: ArrayDataset, max_batches: int = 4
@@ -244,8 +318,11 @@ class HeaderSearch:
         from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
 
         children = [self.build_child(spec) for spec in specs]
+        features_by_batch = self._prefetch_scoring_features(dataset, max_batches)
         return parallel_map(
-            lambda child: self._evaluate_child(child, dataset, max_batches),
+            lambda child: self._evaluate_child(
+                child, dataset, max_batches, features_by_batch=features_by_batch
+            ),
             children,
             max_workers=self.config.parallel_workers,
             serial_if_stochastic=(self.backbone, *children),

@@ -349,28 +349,43 @@ def build_similarity_matrix(
     seed: int = 0,
     temperature: float = 0.05,
     max_workers: Union[int, str, None] = None,
+    batched: bool = True,
 ) -> np.ndarray:
     """End-to-end Eq. (19)+(20): Ŵ_s from device datasets.
 
     Returns the row-stochastic matrix used as aggregation weights in
     Eq. (21).  See :func:`regularize_similarity` for the temperature.
-    Feature extraction is an independent tape-free forward per dataset;
-    ``max_workers`` fans it out across threads with features kept in
-    dataset order, so any worker count yields the same matrix.  If the
-    shared model would consume module-local RNG during forwards (a
-    training-mode ``Dropout`` with ``p > 0``), the fan-out drops to
-    serial so concurrent draws cannot corrupt or reorder the stream.
+
+    With ``batched`` (the default) all datasets' feature samples are
+    served through **one** stacked tape-free forward of the shared model
+    (:func:`repro.train.serving.batched_extract_features`) — per-sample
+    results, and hence the matrix, are identical to per-dataset forwards.
+    Otherwise extraction is an independent forward per dataset, fanned
+    out across ``max_workers`` threads with features kept in dataset
+    order, so any worker count yields the same matrix.  If the shared
+    model would consume module-local RNG during forwards (a
+    training-mode ``Dropout`` with ``p > 0``), batching is skipped and
+    the fan-out drops to serial so a single deterministic stream is
+    preserved.
     """
     from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
+    from repro.nn.layers import has_active_stochastic_modules
 
-    features = parallel_map(
-        lambda pair: extract_features(
-            model, pair[1], max_samples=max_samples, seed=seed + pair[0]
-        ),
-        list(enumerate(datasets)),
-        max_workers=max_workers,
-        serial_if_stochastic=(model,),
-    )
+    if batched and not has_active_stochastic_modules(model):
+        from repro.train.serving import batched_extract_features
+
+        features = batched_extract_features(
+            model, list(datasets), max_samples=max_samples, seed=seed
+        )
+    else:
+        features = parallel_map(
+            lambda pair: extract_features(
+                model, pair[1], max_samples=max_samples, seed=seed + pair[0]
+            ),
+            list(enumerate(datasets)),
+            max_workers=max_workers,
+            serial_if_stochastic=(model,),
+        )
     distances = distance_matrix(features, metric=metric, seed=seed)
     return regularize_similarity(
         similarity_from_distances(distances), temperature=temperature

@@ -118,6 +118,7 @@ class DataLoader:
         shuffle: bool = True,
         rng: Optional[np.random.Generator] = None,
         drop_last: bool = False,
+        yield_indices: bool = False,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -126,6 +127,13 @@ class DataLoader:
         self.shuffle = shuffle
         self.rng = rng or np.random.default_rng(0)
         self.drop_last = drop_last
+        # With ``yield_indices`` batches are ``(indices, labels)`` pairs —
+        # no image gather-copy is materialized; the shuffle RNG stream is
+        # identical either way, so flipping it never changes which
+        # samples a batch contains.  Used by precomputed-feature training
+        # loops that gather cached per-sample activations instead of
+        # re-running a frozen model on the images.
+        self.yield_indices = yield_indices
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -133,14 +141,17 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, ...]]:
         n = len(self.dataset)
         order = self.rng.permutation(n) if self.shuffle else np.arange(n)
         for start in range(0, n, self.batch_size):
             batch = order[start : start + self.batch_size]
             if self.drop_last and batch.size < self.batch_size:
                 return
-            yield self.dataset.images[batch], self.dataset.labels[batch]
+            if self.yield_indices:
+                yield batch, self.dataset.labels[batch]
+            else:
+                yield self.dataset.images[batch], self.dataset.labels[batch]
 
 
 def merge(datasets: Sequence[ArrayDataset], name: str = "merged") -> ArrayDataset:

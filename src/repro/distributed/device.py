@@ -28,7 +28,7 @@ from repro.hw.profiles import DeviceProfile
 from repro.models.blocks import HeaderSpec
 from repro.models.header_dag import DAGHeader
 from repro.models.vit import VisionTransformer, ViTConfig
-from repro.train.evaluate import evaluate_header
+from repro.train.serving import batched_evaluate_headers
 from repro.train.trainer import TrainConfig, train_header
 
 
@@ -139,15 +139,24 @@ class DeviceNode:
         self.finetune(config)
         return self.evaluate()
 
+    def eval_dataset(self) -> ArrayDataset:
+        """The split this device's accuracy is judged on."""
+        return self.test_dataset if self.test_dataset is not None else self.dataset
+
     def evaluate(self) -> dict:
         """Accuracy of θ_n = (θH_n, θB_n) on held-out (or train) data.
 
-        Runs tape-free end to end (``evaluate_header`` wraps its forward
-        passes in :func:`repro.nn.no_grad`).
+        Routed through the batched serving runner
+        (:mod:`repro.train.serving`) with this device as the only
+        requester — tape-free end to end, and numerically identical to
+        :func:`repro.train.evaluate.evaluate_header`.  The edge server
+        batches whole clusters through the same runner in
+        :meth:`repro.distributed.edge.EdgeServer.finalize`.
         """
         assert self.backbone is not None and self.header is not None
-        dataset = self.test_dataset if self.test_dataset is not None else self.dataset
-        return evaluate_header(self.backbone, self.header, dataset)
+        return batched_evaluate_headers(
+            self.backbone, [self.header], [self.eval_dataset()]
+        )[0]
 
     def dataset_upload_message(self, cloud_name: str) -> Message:
         """The centralized-system baseline: ship the raw local dataset."""

@@ -33,6 +33,7 @@ from repro.distributed.network import Network
 from repro.hw.profiles import cluster_statistics
 from repro.models.blocks import HeaderSpec
 from repro.models.vit import VisionTransformer, ViTConfig
+from repro.train import serving
 
 
 @dataclass
@@ -48,6 +49,13 @@ class EdgeConfig:
     #: Results are ordered by device, so any worker count reproduces the
     #: serial run exactly (see repro.distributed.executor).
     parallel_devices: WorkerSpec = None
+    #: Serve the cluster's final evaluation through one batched backbone
+    #: forward per round (repro.train.serving) when every device holds
+    #: the same frozen backbone — numerically identical to per-device
+    #: evaluation, but amortizes the Python/tape overhead the GIL keeps
+    #: threads from overlapping.  Composes with ``parallel_devices``
+    #: (fine-tuning still fans out across workers).
+    batched_serving: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -226,9 +234,34 @@ class EdgeServer:
         ``parallel_devices`` applies; an explicit value — including
         ``None``/0/1 for serial — follows the
         :mod:`repro.distributed.executor` contract verbatim.
+
+        With ``batched_serving`` (the default) and a cluster whose
+        devices all hold the same frozen backbone — the invariant
+        :meth:`distribute_models` establishes — the evaluation half is
+        served through one batched backbone forward per round
+        (:func:`repro.train.serving.batched_evaluate_headers`) instead of
+        one forward per device; fine-tuning still fans out per device.
+        Both halves are numerically identical to the per-device loop.
         """
         if max_workers is EdgeServer._USE_CONFIG_WORKERS:
             max_workers = self.config.parallel_devices
+        devices = self.devices
+        if (
+            self.config.batched_serving
+            and len(devices) > 1
+            and all(d.backbone is not None and d.header is not None for d in devices)
+            and serving.backbones_equivalent([d.backbone for d in devices])
+        ):
+            parallel_map(
+                lambda device: device.finetune(),
+                devices,
+                max_workers=max_workers,
+            )
+            return serving.batched_evaluate_headers(
+                devices[0].backbone,
+                [d.header for d in devices],
+                [d.eval_dataset() for d in devices],
+            )
         return parallel_map(
             lambda device: device.finalize_round(),
             self.devices,

@@ -22,6 +22,7 @@ from repro.models.blocks import (
     num_operations,
 )
 from repro.models.headers import BackboneFeatures, Header
+from repro.nn import init
 from repro.nn.layers import Activation, Linear, Module, Parameter, Sequential
 from repro.nn.tensor import Tensor, concatenate
 
@@ -92,7 +93,7 @@ class DAGHeader(Header):
         classifier: Optional[Module] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         spec.validate(num_operations())
         self.spec = spec
         self.embed_dim = embed_dim
@@ -164,11 +165,11 @@ class DAGHeader(Header):
         self._pristine = None
 
     def reapply_mask(self) -> None:
-        """Re-zero masked parameters (call after optimizer steps)."""
+        """Re-zero masked parameters in place (call after optimizer steps)."""
         if self._parameter_mask is None:
             return
         for name, p in self._unique_named_parameters():
-            p.data = p.data * self._parameter_mask[name]
+            np.multiply(p.data, self._parameter_mask[name], out=p.data)
 
     def active_parameter_count(self) -> int:
         if self._parameter_mask is None:

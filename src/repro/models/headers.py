@@ -14,6 +14,7 @@ from typing import NamedTuple, Optional
 
 import numpy as np
 
+from repro.nn import init
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.conv import AvgPool2d, Conv2d, GlobalAvgPool2d
 from repro.nn.layers import Activation, LayerNorm, Linear, Module, Sequential
@@ -71,7 +72,7 @@ class LinearHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.fc = Linear(embed_dim, num_classes, rng=rng)
 
     def forward(self, features: BackboneFeatures) -> Tensor:
@@ -90,7 +91,7 @@ class MLPHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         hidden = hidden or 2 * embed_dim
         self.net = Sequential(
             Linear(embed_dim, hidden, rng=rng),
@@ -113,7 +114,7 @@ class PoolHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.fc = Linear(embed_dim, num_classes, rng=rng)
 
     def forward(self, features: BackboneFeatures) -> Tensor:
@@ -137,7 +138,7 @@ class CNNHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         channels = channels or embed_dim
         self.conv1 = Conv2d(embed_dim, channels, 3, padding=1, rng=rng)
         self.act = Activation("gelu")
@@ -163,7 +164,7 @@ class CNNEnsembleHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.path_a = Conv2d(embed_dim, embed_dim, 3, padding=1, rng=rng)
         self.path_b = Conv2d(embed_dim, embed_dim, 5, padding=2, rng=rng)
         self.act = Activation("gelu")
@@ -192,7 +193,7 @@ class AttentionHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.norm = LayerNorm(embed_dim)
         self.attn = MultiHeadSelfAttention(embed_dim, num_heads, rng=rng)
         self.fc = Linear(embed_dim, num_classes, rng=rng)
@@ -216,7 +217,7 @@ class HybridHeader(Header):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else init.default_generator()
         self.net = Sequential(
             Linear(2 * embed_dim, embed_dim, rng=rng),
             Activation("gelu"),

@@ -88,9 +88,17 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, reuse_buffers: bool = False) -> None:
+        """Clear all parameter gradients.
+
+        ``reuse_buffers=True`` keeps each parameter's grad array for the
+        next backward pass (see :meth:`repro.nn.tensor.Tensor.zero_grad`),
+        trading a little retained memory for zero grad allocations per
+        step — the mode training loops that call ``zero_grad`` every
+        batch should prefer.
+        """
         for p in self.parameters():
-            p.zero_grad()
+            p.zero_grad(keep_buffer=reuse_buffers)
 
     def astype(self, dtype) -> "Module":
         """Convert all parameters to ``dtype`` in place (grads are dropped).

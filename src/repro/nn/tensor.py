@@ -76,6 +76,20 @@ _FAST_POW_VAR: contextvars.ContextVar = contextvars.ContextVar(
     "repro_fast_pow", default=True
 )
 
+# Gradient accumulation strategy.  With in-place accumulation (the
+# default) every tensor owns its ``grad`` array outright: the first
+# contribution is copied into an owned buffer and later contributions are
+# added with ``+=`` instead of allocating a fresh sum each time.
+# ``_set_inplace_accumulation(False)`` is a benchmark-only switch
+# restoring the allocate-per-accumulation behavior of the seed engine.
+_INPLACE_ACCUM_VAR: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_inplace_accum", default=True
+)
+
+
+def _set_inplace_accumulation(enabled: bool) -> None:
+    _INPLACE_ACCUM_VAR.set(bool(enabled))
+
 
 def _set_fast_pow(enabled: bool) -> None:
     _FAST_POW_VAR.set(bool(enabled))
@@ -285,7 +299,15 @@ class Tensor:
         Optional human-readable label used in ``repr`` and debugging.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "name",
+        "_backward",
+        "_parents",
+        "_grad_buffer",
+    )
 
     def __init__(
         self,
@@ -299,6 +321,10 @@ class Tensor:
         self.name = name
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        # Retained grad storage for cross-step buffer reuse (see
+        # ``zero_grad(keep_buffer=True)``); always exclusively owned by
+        # this tensor, never an alias of an activation or another grad.
+        self._grad_buffer: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Basic introspection
@@ -355,17 +381,61 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        """Add a backward contribution to ``self.grad``.
+
+        Ownership/copy rules: ``self.grad`` is always an array this tensor
+        owns exclusively — the first contribution is **copied** (never
+        adopted by reference), so a backward closure can pass a view of a
+        live activation or another tensor's grad without it ever being
+        aliased into ``self.grad``.  Later contributions accumulate with
+        ``+=`` into the owned buffer; incoming arrays are only read.
+        Callers that assign ``tensor.grad`` directly transfer ownership of
+        the assigned array to the tensor.
+        """
         grad = _unbroadcast(np.asarray(grad), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
+        current = self.grad
+        if current is not None:
+            if _INPLACE_ACCUM_VAR.get() and grad.dtype == current.dtype:
+                current += grad
+            else:
+                self.grad = current + grad
+                if self._grad_buffer is current:
+                    self._grad_buffer = self.grad
+            return
+        if _INPLACE_ACCUM_VAR.get():
+            buf = self._grad_buffer
+            if (
+                buf is not None
+                and buf.shape == grad.shape
+                and buf.dtype == grad.dtype
+            ):
+                # Reuse last step's array instead of allocating a fresh one.
+                np.copyto(buf, grad)
+                self.grad = buf
+                return
+            buf = grad.copy()
+            self._grad_buffer = buf
+            self.grad = buf
         else:
-            self.grad = self.grad + grad
+            self.grad = grad.copy()
 
     def detach(self) -> "Tensor":
         """Return a tensor sharing data but severed from the graph."""
         return Tensor(self.data)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, keep_buffer: bool = False) -> None:
+        """Clear the gradient.
+
+        With ``keep_buffer=True`` the grad array is retained (detached
+        from ``grad``) so the next backward pass accumulates into it
+        instead of allocating a fresh one — the buffer-reuse mode
+        :meth:`repro.nn.optim.Optimizer.zero_grad` uses between steps.
+        """
+        if keep_buffer:
+            if self.grad is not None:
+                self._grad_buffer = self.grad
+        else:
+            self._grad_buffer = None
         self.grad = None
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:

@@ -1,11 +1,23 @@
-"""Training and evaluation loops."""
+"""Training, evaluation, and batched serving loops."""
 
 from repro.train.evaluate import evaluate_header, evaluate_model
+from repro.train.serving import (
+    backbones_equivalent,
+    batched_evaluate_headers,
+    batched_extract_features,
+    batched_forward_features_multi,
+    precompute_backbone_features,
+)
 from repro.train.trainer import TrainConfig, TrainReport, train_header, train_model
 
 __all__ = [
     "TrainConfig",
     "TrainReport",
+    "backbones_equivalent",
+    "batched_evaluate_headers",
+    "batched_extract_features",
+    "batched_forward_features_multi",
+    "precompute_backbone_features",
     "evaluate_header",
     "evaluate_model",
     "train_header",

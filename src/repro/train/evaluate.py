@@ -14,6 +14,15 @@ from repro.nn.layers import Module
 from repro.nn.tensor import Tensor, no_grad
 
 
+def batch_metrics(logits: Tensor, labels: np.ndarray) -> tuple:
+    """``(loss_sum, correct)`` of one logits batch — the shared metric
+    kernel of the evaluation loops here and the batched serving runner
+    (:mod:`repro.train.serving`)."""
+    loss_sum = float(F.cross_entropy(logits, labels, reduction="sum").data)
+    correct = int((logits.data.argmax(axis=-1) == labels).sum())
+    return loss_sum, correct
+
+
 def evaluate_model(
     model: Module,
     dataset: ArrayDataset,
@@ -31,8 +40,9 @@ def evaluate_model(
             if max_batches is not None and batch_idx >= max_batches:
                 break
             logits = model(Tensor(images))
-            loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
-            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            batch_loss, batch_correct = batch_metrics(logits, labels)
+            loss_sum += batch_loss
+            correct += batch_correct
             total += labels.shape[0]
     if total == 0:
         raise ValueError("no samples evaluated")
@@ -59,8 +69,9 @@ def evaluate_header(
             cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
             features = BackboneFeatures(cls, tokens, penult)
             logits = header(features)
-            loss_sum += float(F.cross_entropy(logits, labels, reduction="sum").data)
-            correct += int((logits.data.argmax(axis=-1) == labels).sum())
+            batch_loss, batch_correct = batch_metrics(logits, labels)
+            loss_sum += batch_loss
+            correct += batch_correct
             total += labels.shape[0]
     if total == 0:
         raise ValueError("no samples evaluated")

@@ -1,0 +1,261 @@
+"""Batched cross-device backbone serving.
+
+Every device in an ACME cluster receives the *same* frozen backbone from
+its edge server (one ``backbone_state`` payload, one ``(width, depth)``
+scaling), so the per-device inference fan-outs — finalize/eval, feature
+extraction for the similarity matrix, NAS child scoring — run many small
+forwards through numerically identical models.  This module batches
+those forwards: same-shape inputs from many devices are concatenated
+along the batch axis into a **single** ``no_grad`` forward and the
+results are split back per device.
+
+Why this helps even alongside :func:`repro.distributed.executor.parallel_map`:
+threads only overlap the GIL-releasing numpy kernels, while the Python
+dispatch around each forward (tensor wrapping, layer traversal, closure
+setup) serializes.  Batching amortizes that per-forward Python overhead
+across devices and hands BLAS larger matmuls, so it composes with — and
+on small models beats — the thread fan-out.
+
+Numerical contract: the engine's kernels are row-independent (matmuls,
+layer norm, softmax, im2col convolutions all operate per sample), so a
+batched forward is **bit-for-bit identical** per sample to the separate
+forwards it replaces (asserted in ``tests/train/test_serving.py``).
+Models whose forward consumes module-local RNG (training-mode dropout)
+are the exception — one concatenated forward would draw a different
+stream than N separate forwards — so every entry point here falls back
+to the unbatched path via
+:func:`repro.nn.layers.has_active_stochastic_modules`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.headers import BackboneFeatures
+from repro.nn.layers import Module, has_active_stochastic_modules
+from repro.nn.tensor import Tensor, no_grad
+from repro.train.evaluate import batch_metrics, evaluate_header
+
+
+def backbones_equivalent(backbones: Sequence[Module]) -> bool:
+    """True when every backbone holds identical parameter values.
+
+    This is the precondition for serving a whole cluster through one
+    backbone instance: ACME distributes one state dict per cluster, so
+    device backbones are value-identical, but the check keeps the batched
+    path safe against hand-built heterogeneous fleets.
+    """
+    if not backbones:
+        return False
+    reference = dict(backbones[0].named_parameters())
+    for other in backbones[1:]:
+        params = dict(other.named_parameters())
+        if params.keys() != reference.keys():
+            return False
+        for name, p in reference.items():
+            q = params[name]
+            if p.data is q.data:
+                continue
+            if p.data.shape != q.data.shape or not np.array_equal(p.data, q.data):
+                return False
+    return True
+
+
+def _concat_rows(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Row-concatenate, skipping the copy for a single input."""
+    if len(arrays) == 1:
+        return arrays[0]
+    return np.concatenate(arrays, axis=0)
+
+
+def batched_forward_features_multi(
+    backbone: Module, arrays: Sequence[np.ndarray]
+) -> List[BackboneFeatures]:
+    """One tape-free backbone forward over many stacked inputs.
+
+    ``arrays`` are per-caller image batches sharing trailing dimensions;
+    they are concatenated along the batch axis, pushed through
+    ``backbone.forward_features_multi`` once under :func:`no_grad`, and
+    the resulting CLS/token/penultimate features are split back into one
+    :class:`BackboneFeatures` per input (views into the batched output —
+    no copies).
+    """
+    arrays = [np.asarray(a) for a in arrays]
+    if not arrays:
+        return []
+    counts = [a.shape[0] for a in arrays]
+    with no_grad():
+        cls, tokens, penult = backbone.forward_features_multi(
+            Tensor(_concat_rows(arrays))
+        )
+    out: List[BackboneFeatures] = []
+    start = 0
+    for n in counts:
+        end = start + n
+        out.append(
+            BackboneFeatures(
+                Tensor(cls.data[start:end]),
+                Tensor(tokens.data[start:end]),
+                Tensor(penult.data[start:end]),
+            )
+        )
+        start = end
+    return out
+
+
+def precompute_backbone_features(
+    backbone: Module, images: np.ndarray, chunk_size: int = 256
+) -> BackboneFeatures:
+    """Per-sample frozen-backbone features for a whole sample set.
+
+    Runs tape-free forwards over row chunks (``chunk_size`` bounds peak
+    activation memory) and concatenates the results into one
+    :class:`BackboneFeatures` aligned with ``images`` row order.  Because
+    the kernels are row-independent, gathering rows from this cache is
+    bit-for-bit identical to running the backbone on any mini-batch of
+    the same samples — which is what lets ``train_header`` compute the
+    frozen backbone **once per training run** instead of once per batch
+    per epoch.  Callers must keep stochastic backbones (training-mode
+    dropout) on the per-batch path.
+    """
+    images = np.asarray(images)
+    cls_parts, token_parts, penult_parts = [], [], []
+    with no_grad():
+        for start in range(0, images.shape[0], chunk_size):
+            cls, tokens, penult = backbone.forward_features_multi(
+                Tensor(images[start : start + chunk_size])
+            )
+            cls_parts.append(cls.data)
+            token_parts.append(tokens.data)
+            penult_parts.append(penult.data)
+    return BackboneFeatures(
+        Tensor(_concat_rows(cls_parts)),
+        Tensor(_concat_rows(token_parts)),
+        Tensor(_concat_rows(penult_parts)),
+    )
+
+
+def gather_features(features: BackboneFeatures, indices: np.ndarray) -> BackboneFeatures:
+    """Row-gather a precomputed feature cache into a mini-batch view."""
+    return BackboneFeatures(
+        Tensor(features.cls.data[indices]),
+        Tensor(features.tokens.data[indices]),
+        Tensor(features.penultimate.data[indices]),
+    )
+
+
+def batched_extract_features(
+    model: Module,
+    datasets: Sequence[ArrayDataset],
+    max_samples: int = 64,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """CLS features for many datasets through one stacked forward.
+
+    Mirrors :func:`repro.core.similarity.extract_features` — dataset ``i``
+    is sampled with ``default_rng(seed + i)`` exactly like the per-dataset
+    loop — but runs the frozen model once over the concatenated samples.
+    Callers must route stochastic models (training-mode dropout) through
+    the unbatched path; see the module docstring.
+    """
+    samples = []
+    for i, dataset in enumerate(datasets):
+        rng = np.random.default_rng(seed + i)
+        samples.append(dataset.sample(max_samples, rng).images)
+    if not samples:
+        return []
+    counts = [s.shape[0] for s in samples]
+    with no_grad():
+        cls, _tokens = model.forward_features(Tensor(_concat_rows(samples)))
+    out: List[np.ndarray] = []
+    start = 0
+    for n in counts:
+        out.append(cls.data[start : start + n])
+        start += n
+    return out
+
+
+def batched_evaluate_headers(
+    backbone: Module,
+    headers: Sequence[Module],
+    datasets: Sequence[ArrayDataset],
+    batch_size: int = 64,
+    max_batches: Optional[int] = None,
+) -> List[dict]:
+    """Evaluate many (header, dataset) pairs over one shared backbone.
+
+    Reproduces :func:`repro.train.evaluate.evaluate_header` per pair —
+    same loaders, batch ops and metric accumulation — but each round's
+    per-device batches share a single backbone forward.  Datasets may
+    have different sizes; devices simply drop out of later rounds.
+    Falls back to the per-pair loop when a forward would consume
+    module-local RNG (multi-device batching would change the stream).
+    """
+    if len(headers) != len(datasets):
+        raise ValueError(f"{len(headers)} headers vs {len(datasets)} datasets")
+    if len(headers) > 1 and (
+        has_active_stochastic_modules(backbone)
+        or any(has_active_stochastic_modules(h) for h in headers)
+    ):
+        return [
+            evaluate_header(backbone, h, d, batch_size=batch_size, max_batches=max_batches)
+            for h, d in zip(headers, datasets)
+        ]
+
+    for header in headers:
+        header.eval()
+    iterators = [
+        iter(
+            DataLoader(
+                dataset,
+                batch_size=batch_size,
+                shuffle=False,
+                rng=np.random.default_rng(0),
+            )
+        )
+        for dataset in datasets
+    ]
+    stats = [{"correct": 0, "total": 0, "loss": 0.0} for _ in headers]
+    active = list(range(len(headers)))
+    batch_idx = 0
+    while active and (max_batches is None or batch_idx < max_batches):
+        round_batches = []
+        still_active = []
+        for i in active:
+            batch = next(iterators[i], None)
+            if batch is None:
+                continue
+            round_batches.append((i, batch))
+            still_active.append(i)
+        if not round_batches:
+            break
+        active = still_active
+        features = batched_forward_features_multi(
+            backbone, [images for _i, (images, _labels) in round_batches]
+        )
+        with no_grad():
+            for (i, (_images, labels)), feats in zip(round_batches, features):
+                logits = headers[i](feats)
+                batch_loss, batch_correct = batch_metrics(logits, labels)
+                stats[i]["loss"] += batch_loss
+                stats[i]["correct"] += batch_correct
+                stats[i]["total"] += labels.shape[0]
+        batch_idx += 1
+
+    results = []
+    for s in stats:
+        if s["total"] == 0:
+            raise ValueError("no samples evaluated")
+        results.append(
+            {
+                "accuracy": s["correct"] / s["total"],
+                "loss": s["loss"] / s["total"],
+                "samples": s["total"],
+            }
+        )
+    return results
+
+

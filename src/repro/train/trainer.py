@@ -12,7 +12,7 @@ from repro.models.header_dag import DAGHeader
 from repro.models.headers import BackboneFeatures, Header
 from repro.models.vit import VisionTransformer
 from repro.nn import functional as F
-from repro.nn.layers import Module
+from repro.nn.layers import Module, has_active_stochastic_modules
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor, no_grad
 
@@ -26,6 +26,19 @@ class TrainConfig:
     lr: float = 1e-3
     grad_clip: float = 5.0
     max_batches_per_epoch: Optional[int] = None
+    #: Allocation-lean training-core path: fused in-place optimizer
+    #: steps, grad-buffer reuse across steps, and the fused
+    #: ``clip_grad_norm``.  ``False`` restores the seed-equivalent
+    #: allocating implementations (the benchmark baseline).
+    fused_optimizer: bool = True
+    #: Frozen-backbone serving: in ``train_header(freeze_backbone=True)``
+    #: compute per-sample backbone features **once** through the batched
+    #: serving runner and gather cached rows per mini-batch, instead of
+    #: re-running the backbone every batch of every epoch.  Bit-for-bit
+    #: identical (row-independent kernels); automatically skipped for
+    #: stochastic backbones (training-mode dropout).  ``False`` restores
+    #: the per-batch forwards of the seed path.
+    cached_frozen_features: bool = True
     seed: int = 0
 
 
@@ -53,7 +66,12 @@ def train_model(
     """Train an end-to-end model (``forward(images) -> logits``)."""
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
-    optimizer = Adam(model.parameters(), lr=config.lr)
+    optimizer = Adam(
+        model.parameters(),
+        lr=config.lr,
+        fused=config.fused_optimizer,
+        reuse_grad_buffers=config.fused_optimizer,
+    )
     report = TrainReport()
     loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
 
@@ -70,7 +88,7 @@ def train_model(
             loss = F.cross_entropy(logits, labels)
             optimizer.zero_grad()
             loss.backward()
-            clip_grad_norm(optimizer.params, config.grad_clip)
+            clip_grad_norm(optimizer.params, config.grad_clip, fused=config.fused_optimizer)
             optimizer.step()
             losses.append(float(loss.data))
             correct += int((logits.data.argmax(axis=-1) == labels).sum())
@@ -98,32 +116,69 @@ def train_header(
     params = header.parameters()
     if not freeze_backbone:
         params = params + backbone.parameters()
-    optimizer = Adam(params, lr=config.lr)
+    optimizer = Adam(
+        params,
+        lr=config.lr,
+        fused=config.fused_optimizer,
+        reuse_grad_buffers=config.fused_optimizer,
+    )
     report = TrainReport()
-    loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True, rng=rng)
+    from repro.train import serving  # lazy: trainer is imported by the package init
+
+    # Frozen backbones are pure per-sample feature extractors, so their
+    # features can be served once from the batched runner and gathered
+    # per mini-batch — unless the backbone consumes module-local RNG
+    # (training-mode dropout), where per-batch draws must be preserved,
+    # or the epoch is batch-capped, where precomputing the whole dataset
+    # would cost more than the forwards it saves.
+    use_cached_features = (
+        freeze_backbone
+        and config.cached_frozen_features
+        and config.max_batches_per_epoch is None
+        and not has_active_stochastic_modules(backbone)
+    )
+    cached_features = (
+        serving.precompute_backbone_features(backbone, dataset.images)
+        if use_cached_features
+        else None
+    )
+    loader = DataLoader(
+        dataset,
+        batch_size=config.batch_size,
+        shuffle=True,
+        rng=rng,
+        yield_indices=use_cached_features,
+    )
 
     header.train()
     for _epoch in range(config.epochs):
         losses, correct, total = [], 0, 0
-        for batch_idx, (images, labels) in enumerate(loader):
+        for batch_idx, batch in enumerate(loader):
             if (
                 config.max_batches_per_epoch is not None
                 and batch_idx >= config.max_batches_per_epoch
             ):
                 break
-            if freeze_backbone:
-                # The backbone is pure feature extraction here: run it
-                # tape-free instead of building a graph and detaching.
-                with no_grad():
-                    cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+            if cached_features is not None:
+                indices, labels = batch
+                features = serving.gather_features(cached_features, indices)
             else:
-                cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
-            features = BackboneFeatures(cls, tokens, penult)
+                images, labels = batch
+                if freeze_backbone:
+                    # The backbone is pure feature extraction here: run it
+                    # tape-free instead of building a graph and detaching.
+                    with no_grad():
+                        cls, tokens, penult = backbone.forward_features_multi(
+                            Tensor(images)
+                        )
+                else:
+                    cls, tokens, penult = backbone.forward_features_multi(Tensor(images))
+                features = BackboneFeatures(cls, tokens, penult)
             logits = header(features)
             loss = F.cross_entropy(logits, labels)
             optimizer.zero_grad()
             loss.backward()
-            clip_grad_norm(optimizer.params, config.grad_clip)
+            clip_grad_norm(optimizer.params, config.grad_clip, fused=config.fused_optimizer)
             optimizer.step()
             if isinstance(header, DAGHeader):
                 header.reapply_mask()

@@ -1,0 +1,79 @@
+"""Header rng fallbacks draw from the shared seeded engine stream.
+
+``models/headers.py`` and ``models/header_dag.py`` were the last modules
+whose no-``rng`` fallback restarted ``default_rng(0)`` — every unseeded
+header received identical weights.  They now draw from
+``repro.nn.init.default_generator()`` like the rest of the library:
+unseeded headers built back to back differ, and ``repro.nn.set_seed``
+makes the whole construction sequence reproducible.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.models.blocks import HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.models.headers import FIXED_HEADERS, build_fixed_header
+
+EMBED, PATCHES, CLASSES = 32, 16, 6
+SPEC = HeaderSpec.from_sequence([0, 1, 0, 2])
+
+
+def _weights(module):
+    return [p.data.copy() for p in module.parameters()]
+
+
+def _any_differs(a, b):
+    return any(not np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestFixedHeaderFallback:
+    def test_unseeded_headers_differ(self):
+        """Two unseeded headers must not silently share weights."""
+        for kind in FIXED_HEADERS:
+            first = build_fixed_header(kind, EMBED, PATCHES, CLASSES)
+            second = build_fixed_header(kind, EMBED, PATCHES, CLASSES)
+            assert _any_differs(_weights(first), _weights(second)), kind
+
+    def test_set_seed_reproduces_construction_sequence(self):
+        nn.set_seed(123)
+        first = [build_fixed_header(k, EMBED, PATCHES, CLASSES) for k in sorted(FIXED_HEADERS)]
+        nn.set_seed(123)
+        second = [build_fixed_header(k, EMBED, PATCHES, CLASSES) for k in sorted(FIXED_HEADERS)]
+        for a, b in zip(first, second):
+            for wa, wb in zip(_weights(a), _weights(b)):
+                np.testing.assert_array_equal(wa, wb)
+
+    def test_seed_sensitivity(self):
+        nn.set_seed(1)
+        one = build_fixed_header("mlp", EMBED, PATCHES, CLASSES)
+        nn.set_seed(2)
+        two = build_fixed_header("mlp", EMBED, PATCHES, CLASSES)
+        assert _any_differs(_weights(one), _weights(two))
+
+    def test_explicit_rng_unchanged(self):
+        a = build_fixed_header("hybrid", EMBED, PATCHES, CLASSES, rng=np.random.default_rng(7))
+        b = build_fixed_header("hybrid", EMBED, PATCHES, CLASSES, rng=np.random.default_rng(7))
+        for wa, wb in zip(_weights(a), _weights(b)):
+            np.testing.assert_array_equal(wa, wb)
+
+
+class TestDAGHeaderFallback:
+    def test_unseeded_headers_differ(self):
+        first = DAGHeader(EMBED, PATCHES, CLASSES, SPEC)
+        second = DAGHeader(EMBED, PATCHES, CLASSES, SPEC)
+        assert _any_differs(_weights(first), _weights(second))
+
+    def test_set_seed_reproducible(self):
+        nn.set_seed(9)
+        first = DAGHeader(EMBED, PATCHES, CLASSES, SPEC)
+        nn.set_seed(9)
+        second = DAGHeader(EMBED, PATCHES, CLASSES, SPEC)
+        for wa, wb in zip(_weights(first), _weights(second)):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_explicit_rng_unchanged(self):
+        a = DAGHeader(EMBED, PATCHES, CLASSES, SPEC, rng=np.random.default_rng(3))
+        b = DAGHeader(EMBED, PATCHES, CLASSES, SPEC, rng=np.random.default_rng(3))
+        for wa, wb in zip(_weights(a), _weights(b)):
+            np.testing.assert_array_equal(wa, wb)

@@ -1,0 +1,257 @@
+"""Batched cross-device backbone serving reproduces per-device results.
+
+The engine's kernels are row-independent, so serving many devices'
+inputs through one concatenated ``no_grad`` forward must be bit-for-bit
+identical per device to the separate forwards it replaces — these tests
+assert exactly that for raw features, header evaluation, similarity
+feature extraction, NAS child scoring, and the edge finalize phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nas import HeaderSearch, NASConfig
+from repro.core.similarity import build_similarity_matrix, extract_features
+from repro.data.synthetic import make_cifar100_like
+from repro.models.vit import ViTConfig, VisionTransformer
+from repro.models.headers import build_fixed_header
+from repro.nn.tensor import Tensor, no_grad
+from repro.train.evaluate import evaluate_header
+from repro.train.serving import (
+    backbones_equivalent,
+    batched_evaluate_headers,
+    batched_extract_features,
+    batched_forward_features_multi,
+    gather_features,
+    precompute_backbone_features,
+)
+
+VIT = ViTConfig(num_classes=6, depth=2, embed_dim=32, num_heads=4)
+
+
+@pytest.fixture()
+def backbone():
+    return VisionTransformer(VIT, seed=0)
+
+
+@pytest.fixture()
+def datasets():
+    generator = make_cifar100_like(num_classes=6, image_size=16, seed=0)
+    # Deliberately different sizes so devices drop out of later rounds.
+    return [
+        generator.generate(samples_per_class=n, seed=40 + i, name=f"d{i}")
+        for i, n in enumerate([4, 7, 2])
+    ]
+
+
+class TestBatchedForward:
+    def test_bitwise_identical_to_separate_forwards(self, backbone):
+        rng = np.random.default_rng(0)
+        arrays = [rng.normal(size=(n, 3, 16, 16)) for n in (5, 16, 3)]
+        batched = batched_forward_features_multi(backbone, arrays)
+        for array, features in zip(arrays, batched):
+            with no_grad():
+                cls, tokens, penult = backbone.forward_features_multi(Tensor(array))
+            np.testing.assert_array_equal(features.cls.data, cls.data)
+            np.testing.assert_array_equal(features.tokens.data, tokens.data)
+            np.testing.assert_array_equal(features.penultimate.data, penult.data)
+
+    def test_empty_input(self, backbone):
+        assert batched_forward_features_multi(backbone, []) == []
+
+    def test_single_input_matches(self, backbone):
+        rng = np.random.default_rng(1)
+        array = rng.normal(size=(4, 3, 16, 16))
+        (features,) = batched_forward_features_multi(backbone, [array])
+        with no_grad():
+            cls, _tokens, _penult = backbone.forward_features_multi(Tensor(array))
+        np.testing.assert_array_equal(features.cls.data, cls.data)
+
+
+class TestBatchedEvaluate:
+    def test_matches_evaluate_header_per_pair(self, backbone, datasets):
+        headers = [
+            build_fixed_header(
+                kind, VIT.embed_dim, VIT.num_patches, VIT.num_classes,
+                rng=np.random.default_rng(i),
+            )
+            for i, kind in enumerate(["linear", "mlp", "hybrid"])
+        ]
+        batched = batched_evaluate_headers(
+            backbone, headers, datasets, batch_size=8
+        )
+        for header, dataset, result in zip(headers, datasets, batched):
+            expected = evaluate_header(backbone, header, dataset, batch_size=8)
+            assert result == expected  # dict equality: bit-for-bit floats
+
+    def test_stochastic_model_falls_back(self, datasets):
+        dropout_backbone = VisionTransformer(
+            ViTConfig(num_classes=6, depth=2, embed_dim=32, num_heads=4, dropout=0.2),
+            seed=0,
+        )
+        dropout_backbone.train()
+        headers = [
+            build_fixed_header(
+                "linear", VIT.embed_dim, VIT.num_patches, VIT.num_classes,
+                rng=np.random.default_rng(i),
+            )
+            for i in range(3)
+        ]
+        batched = batched_evaluate_headers(
+            dropout_backbone, headers, datasets, batch_size=8
+        )
+        # The fallback evaluates pair by pair, so each pair consumes the
+        # dropout stream exactly like the unbatched loop does.
+        assert all(0.0 <= r["accuracy"] <= 1.0 for r in batched)
+        assert [r["samples"] for r in batched] == [len(d) for d in datasets]
+
+    def test_mismatched_lengths_rejected(self, backbone, datasets):
+        header = build_fixed_header(
+            "linear", VIT.embed_dim, VIT.num_patches, VIT.num_classes,
+            rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            batched_evaluate_headers(backbone, [header], datasets)
+
+
+class TestBatchedExtractFeatures:
+    def test_matches_per_dataset_extraction(self, backbone, datasets):
+        batched = batched_extract_features(backbone, datasets, max_samples=8, seed=3)
+        for i, dataset in enumerate(datasets):
+            expected = extract_features(backbone, dataset, max_samples=8, seed=3 + i)
+            np.testing.assert_array_equal(batched[i], expected)
+
+    def test_build_similarity_matrix_batched_parity(self, backbone, datasets):
+        batched = build_similarity_matrix(backbone, datasets, max_samples=8, batched=True)
+        unbatched = build_similarity_matrix(
+            backbone, datasets, max_samples=8, batched=False
+        )
+        np.testing.assert_array_equal(batched, unbatched)
+
+
+class TestBackbonesEquivalent:
+    def test_value_identical_clones(self, backbone):
+        clone = VisionTransformer(VIT, seed=1)
+        clone.load_state_dict(backbone.state_dict())
+        assert backbones_equivalent([backbone, clone])
+
+    def test_detects_weight_drift(self, backbone):
+        clone = VisionTransformer(VIT, seed=1)
+        clone.load_state_dict(backbone.state_dict())
+        clone.parameters()[0].data[0] += 1e-9
+        assert not backbones_equivalent([backbone, clone])
+
+    def test_empty_fleet(self):
+        assert not backbones_equivalent([])
+
+
+class TestPrecomputedFeatures:
+    def test_gathered_rows_match_batch_forwards(self, backbone, datasets):
+        """The train_header fast path: full-set features once, rows
+        gathered per mini-batch — bit-identical to forwarding the batch."""
+        dataset = datasets[1]
+        cache = precompute_backbone_features(backbone, dataset.images, chunk_size=5)
+        rng = np.random.default_rng(0)
+        indices = rng.permutation(len(dataset))[:6]
+        gathered = gather_features(cache, indices)
+        with no_grad():
+            cls, tokens, penult = backbone.forward_features_multi(
+                Tensor(dataset.images[indices])
+            )
+        np.testing.assert_array_equal(gathered.cls.data, cls.data)
+        np.testing.assert_array_equal(gathered.tokens.data, tokens.data)
+        np.testing.assert_array_equal(gathered.penultimate.data, penult.data)
+
+    def test_train_header_cached_path_matches_per_batch(self, backbone, datasets):
+        from repro.train.trainer import TrainConfig, train_header
+
+        def run(cached):
+            header = build_fixed_header(
+                "mlp", VIT.embed_dim, VIT.num_patches, VIT.num_classes,
+                rng=np.random.default_rng(0),
+            )
+            config = TrainConfig(
+                epochs=2, batch_size=8, seed=0, cached_frozen_features=cached
+            )
+            report = train_header(backbone, header, datasets[0], config)
+            return report.epoch_losses, report.epoch_accuracies
+
+        assert run(True) == run(False)  # traces bit-for-bit identical
+
+    def test_capped_epochs_skip_precompute(self, backbone, datasets):
+        """max_batches_per_epoch caps the loop; precomputing the whole
+        dataset would cost more than it saves, so the per-batch path
+        must be used (observable: identical results either way)."""
+        from repro.train.trainer import TrainConfig, train_header
+
+        def run(cached):
+            header = build_fixed_header(
+                "linear", VIT.embed_dim, VIT.num_patches, VIT.num_classes,
+                rng=np.random.default_rng(0),
+            )
+            config = TrainConfig(
+                epochs=1,
+                batch_size=8,
+                max_batches_per_epoch=1,
+                seed=0,
+                cached_frozen_features=cached,
+            )
+            return train_header(backbone, header, datasets[0], config).epoch_losses
+
+        assert run(True) == run(False)
+
+
+class TestNASBatchedScoring:
+    def _search(self, batched, train_backbone):
+        backbone = VisionTransformer(VIT, seed=0)
+        config = NASConfig(
+            num_blocks=2,
+            search_epochs=1,
+            children_per_epoch=1,
+            shared_steps_per_child=1,
+            controller_updates_per_epoch=2,
+            derive_samples=3,
+            train_backbone=train_backbone,
+            batched_scoring=batched,
+            seed=0,
+        )
+        generator = make_cifar100_like(num_classes=6, image_size=16, seed=0)
+        dataset = generator.generate(10, seed=5, name="nas")
+        search = HeaderSearch(backbone, 6, config)
+        return search.search(dataset)
+
+    @pytest.mark.parametrize("train_backbone", [False, True])
+    def test_batched_scoring_matches_per_child(self, train_backbone):
+        batched = self._search(batched=True, train_backbone=train_backbone)
+        per_child = self._search(batched=False, train_backbone=train_backbone)
+        assert batched.spec.to_sequence() == per_child.spec.to_sequence()
+        assert batched.best_reward == per_child.best_reward
+        assert batched.reward_history == per_child.reward_history
+
+
+class TestEdgeFinalizeBatched:
+    def _finalized_system(self, batched_serving):
+        from repro.distributed import ACMEConfig, ACMESystem
+
+        config = ACMEConfig(
+            num_clusters=1,
+            devices_per_cluster=3,
+            num_classes=6,
+            samples_per_class=18,
+            compute_dtype="float64",
+            finalize=False,
+            seed=0,
+        )
+        config.edge.batched_serving = batched_serving
+        system = ACMESystem(config)
+        system.run()
+        return system.edges[0].finalize()
+
+    def test_batched_finalize_matches_per_device(self):
+        from tests.helpers import reset_engine_state
+
+        reset_engine_state()
+        batched = self._finalized_system(batched_serving=True)
+        reset_engine_state()
+        per_device = self._finalized_system(batched_serving=False)
+        assert batched == per_device  # accuracies/losses bit-for-bit
