@@ -44,6 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import emit_perf, perf_record
 
 from repro.distributed.executor import parallel_map
+from repro.distributed.metrics import schedule_length
 from repro.distributed.system import ACMEConfig, ACMESystem
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -70,15 +71,6 @@ def _cluster_config() -> ACMEConfig:
         compute_dtype="float64",
         seed=0,
     )
-
-
-def _list_schedule(durations: List[float], workers: int) -> float:
-    """FIFO list-schedule length — the thread pool's assignment policy."""
-    loads = [0.0] * workers
-    for duration in durations:
-        slot = min(range(workers), key=lambda w: loads[w])
-        loads[slot] += duration
-    return max(loads)
 
 
 def _assert_executor_fans_out() -> None:
@@ -126,7 +118,7 @@ def bench_cluster_finalize():
             f"parallel finalize diverged from serial: {parallel_acc} vs {serial_acc}"
         )
 
-    makespan = _list_schedule(durations, WORKERS)
+    makespan = schedule_length(durations, WORKERS)
     one_run = {"repeats": 1, "warmup": 0}
     records = [
         perf_record(

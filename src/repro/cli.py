@@ -28,6 +28,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_classes=args.classes,
         samples_per_class=args.samples,
         parallel_devices=args.workers,
+        parallel_edges=args.edge_workers,
         seed=args.seed,
     )
     system = ACMESystem(config)
@@ -105,6 +106,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads for the per-device cluster phases "
         "(1 = serial, -1 = all CPU cores); any value reproduces the "
         "serial results exactly",
+    )
+    run.add_argument(
+        "--edge-workers",
+        type=int,
+        default=1,
+        help="worker threads for the cluster dimension (each runs one "
+        "edge's whole pipeline; 1 = serial, -1 = all CPU cores); "
+        "composes with --workers under a shared thread budget, and any "
+        "value reproduces the serial results — traffic ledger included — "
+        "exactly",
     )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)

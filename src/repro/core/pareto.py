@@ -160,6 +160,11 @@ def select_model(
     surviving cell, and within the candidates sharing that cell choose the
     one minimizing the Euclidean distance (in grid coordinates) to the
     ideal point — whose grid coordinate is 1 on every objective.
+
+    Ties break on the candidate's (width, depth) — a total order over
+    the grid — so the selection is a pure function of the candidate
+    *set*, independent of list order or of the order concurrent cluster
+    requests reach the cloud.
     """
     feasible = [
         i for i in pfg.members if pfg.candidates[i].size < storage_limit
@@ -171,15 +176,21 @@ def select_model(
             f"{min(pfg.candidates[i].size for i in pfg.members):.1f}"
         )
 
+    def _tie_break(i: int) -> Tuple[float, int]:
+        return (pfg.candidates[i].width, pfg.candidates[i].depth)
+
     # Highest-performing feasible model → its grid cell is the search space.
-    best_idx = min(feasible, key=lambda i: pfg.candidates[i].loss)
+    best_idx = min(feasible, key=lambda i: (pfg.candidates[i].loss, _tie_break(i)))
     best_cell = pfg.grid_coords[best_idx, 0]
     cell_members = [i for i in feasible if pfg.grid_coords[i, 0] == best_cell]
 
     ideal_coords = np.ones(NUM_OBJECTIVES)
     chosen = min(
         cell_members,
-        key=lambda i: float(((pfg.grid_coords[i] - ideal_coords) ** 2).sum()),
+        key=lambda i: (
+            float(((pfg.grid_coords[i] - ideal_coords) ** 2).sum()),
+            _tie_break(i),
+        ),
     )
     return pfg.candidates[chosen]
 

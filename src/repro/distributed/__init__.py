@@ -8,6 +8,7 @@ from repro.distributed.executor import (
     parallel_map,
     parallel_starmap,
     resolve_workers,
+    split_worker_budget,
 )
 from repro.distributed.messages import Message, MessageKind, payload_nbytes
 from repro.distributed.metrics import (
@@ -15,9 +16,10 @@ from repro.distributed.metrics import (
     centralized_upload_bytes,
     energy_efficiency_ratio,
     relative_upload,
+    schedule_length,
     size_efficiency_ratio,
 )
-from repro.distributed.network import Network, TrafficStats
+from repro.distributed.network import Network, NetworkShard, TrafficStats
 from repro.distributed.system import (
     ACMEConfig,
     ACMERunResult,
@@ -38,6 +40,7 @@ __all__ = [
     "Message",
     "MessageKind",
     "Network",
+    "NetworkShard",
     "NormalizedTradeoff",
     "TrafficStats",
     "WorkerSpec",
@@ -48,5 +51,7 @@ __all__ = [
     "payload_nbytes",
     "relative_upload",
     "resolve_workers",
+    "schedule_length",
     "size_efficiency_ratio",
+    "split_worker_budget",
 ]

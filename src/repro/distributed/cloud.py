@@ -6,10 +6,22 @@ importance scoring plus width/depth distillation, yielding the dynamic
 backbone θB.  For each edge server's uploaded cluster statistics it
 evaluates the (w, d) candidate grid on (loss, energy, ζ), builds the
 Pareto Front Grid, and assigns the Eq. (13) selection to the cluster.
+
+The cloud is the one node every edge talks to, so its request path is
+safe under concurrent edges: the shared state a request reads — θ0's
+weights, the backbone at full scale, the per-(w, d) public-set losses —
+is immutable once :meth:`CloudServer.prepare_candidates` has run (the
+loss grid is computed once, up front or lazily under a lock, and the
+backbone is restored to full configuration before any request is
+served), and the per-edge response path writes only the edge's own
+``assignments`` slot (under a lock).  Selection ties break
+deterministically (:func:`repro.core.pareto.select_model`), so the
+replies are independent of the order concurrent requests arrive in.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +48,11 @@ class CloudConfig:
     depth_choices: Optional[Sequence[int]] = None  # default 1..reference depth
     performance_window: float = 0.05  # γ_p
     pretrain_epochs: int = 3
-    distill: DistillConfig = None  # type: ignore[assignment]
+    #: Filled from ``seed`` in ``__post_init__`` when not given — a
+    #: mutable default can't be a dataclass default and the derived
+    #: value depends on another field, so ``Optional`` + post-init is
+    #: the idiom (not a ``None`` default lying about its type).
+    distill: Optional[DistillConfig] = None
     eval_samples: int = 128
     energy_epochs: int = 5  # k in Eq. (1)
     seed: int = 0
@@ -66,6 +82,18 @@ class CloudServer:
         self.head_orders: Optional[List[np.ndarray]] = None
         self.neuron_orders: Optional[List[np.ndarray]] = None
         self._loss_cache: Dict[Tuple[float, int], float] = {}
+        #: True once the whole (w, d) loss grid is cached and the
+        #: backbone is back at full scale — from then on every request
+        #: reads immutable state and handling is safe under concurrent
+        #: edges.
+        self._losses_ready = False
+        self._lock = threading.Lock()
+        #: Full-scale backbone weights captured when the loss grid is
+        #: frozen — the immutable payload every ``BACKBONE_ASSIGNMENT``
+        #: reply ships, so the request path never reads live parameters
+        #: (which the lock-protected off-grid ``_candidate_loss``
+        #: fallback may be scaling).
+        self._backbone_state: Optional[Dict[str, np.ndarray]] = None
         self.assignments: Dict[str, Candidate] = {}
         network.register(name, self.handle)
 
@@ -92,21 +120,83 @@ class CloudServer:
         self.head_orders = result.importance.head_orders()
         self.neuron_orders = result.importance.neuron_orders()
         self._loss_cache.clear()
+        self._losses_ready = False
+        self._backbone_state = None
 
     # ------------------------------------------------------------------
     # Candidate evaluation
     # ------------------------------------------------------------------
+    def _depth_choices(self) -> List[int]:
+        assert self.backbone is not None
+        cfg = self.config
+        return (
+            list(cfg.depth_choices)
+            if cfg.depth_choices is not None
+            else list(range(1, self.backbone.config.depth + 1))
+        )
+
+    def prepare_candidates(self) -> None:
+        """Precompute the public-set loss of every (w, d) sub-backbone.
+
+        The sweep scales the shared backbone through the whole grid, so
+        it must not race with requests reading the backbone's weights;
+        running it once after :meth:`generate_dynamic_backbone` (as
+        ``ACMESystem`` does) freezes all request-path state before the
+        first edge asks.  Lazy first-request computation is kept as a
+        lock-protected fallback for callers driving phases manually —
+        the lock covers the *whole* grid fill, so no request is served
+        from a half-scaled backbone.
+        """
+        assert self.backbone is not None, "generate_dynamic_backbone() first"
+        if self._losses_ready:
+            return
+        with self._lock:
+            if self._losses_ready:
+                return
+            for width in self.config.width_choices:
+                for depth in self._depth_choices():
+                    key = (width, depth)
+                    if key in self._loss_cache:
+                        continue
+                    self.backbone.scale(width, depth)
+                    # A fresh sample per cell reproduces the historical
+                    # lazy path bit-for-bit (the generator is re-seeded
+                    # per call, so every cell sees the same sample).
+                    sample = self.public_dataset.sample(
+                        self.config.eval_samples,
+                        np.random.default_rng(self.config.seed),
+                    )
+                    self._loss_cache[key] = evaluate_model(self.backbone, sample)[
+                        "loss"
+                    ]
+            # Restore full configuration, then freeze the reply payload:
+            # requests ship this captured copy instead of reading live
+            # parameters, so even the off-grid ``_candidate_loss``
+            # fallback (which re-scales the backbone under this lock)
+            # cannot race a concurrent reply.
+            self.backbone.scale(1.0, self.backbone.config.depth)
+            self._backbone_state = self.backbone.state_dict()
+            self._losses_ready = True
+
     def _candidate_loss(self, width: float, depth: int) -> float:
         """L_s(˜θ_s, D̃_c): public-set loss of the (w, d) sub-backbone."""
         assert self.backbone is not None, "generate_dynamic_backbone() first"
         key = (width, depth)
         if key not in self._loss_cache:
-            self.backbone.scale(width, depth)
-            sample = self.public_dataset.sample(
-                self.config.eval_samples, np.random.default_rng(self.config.seed)
-            )
-            metrics = evaluate_model(self.backbone, sample)
-            self._loss_cache[key] = metrics["loss"]
+            # Off-grid query (outside the configured choices): scaling
+            # happens under the lock, and concurrent replies ship the
+            # frozen ``_backbone_state`` copy rather than reading live
+            # parameters, so the re-scale cannot corrupt a reply.
+            with self._lock:
+                if key not in self._loss_cache:
+                    self.backbone.scale(width, depth)
+                    sample = self.public_dataset.sample(
+                        self.config.eval_samples,
+                        np.random.default_rng(self.config.seed),
+                    )
+                    metrics = evaluate_model(self.backbone, sample)
+                    self.backbone.scale(1.0, self.backbone.config.depth)
+                    self._loss_cache[key] = metrics["loss"]
         return self._loss_cache[key]
 
     def _representative_profile(self, stats: dict) -> DeviceProfile:
@@ -129,24 +219,25 @@ class CloudServer:
         )
 
     def evaluate_candidates(self, stats: dict) -> List[Candidate]:
-        """The (w, d) grid with objective vectors (loss, energy, ζ)."""
+        """The (w, d) grid with objective vectors (loss, energy, ζ).
+
+        Losses come from the immutable precomputed grid
+        (:meth:`prepare_candidates` runs here if it hasn't yet); the
+        energy term is recomputed per cluster from the uploaded stats.
+        Nothing on this path mutates shared state, so any number of
+        edges can be served concurrently.
+        """
         assert self.backbone is not None
         cfg = self.config
-        depth_choices = (
-            list(cfg.depth_choices)
-            if cfg.depth_choices is not None
-            else list(range(1, self.backbone.config.depth + 1))
-        )
+        self.prepare_candidates()
         profile = self._representative_profile(stats)
         candidates = []
         for width in cfg.width_choices:
-            for depth in depth_choices:
-                loss = self._candidate_loss(width, depth)
+            for depth in self._depth_choices():
+                loss = self._loss_cache[(width, depth)]
                 joules = energy(profile, width, depth, epochs=cfg.energy_epochs).energy_joules
                 size = self.backbone.config.zeta(width, depth)
                 candidates.append(Candidate(width, depth, (loss, joules, size)))
-        # Restore full configuration after the sweep.
-        self.backbone.scale(1.0, self.backbone.config.depth)
         return candidates
 
     def customize_for_cluster(self, stats: dict) -> Candidate:
@@ -170,14 +261,16 @@ class CloudServer:
         assert self.backbone is not None and self.head_orders is not None
         stats = message.payload["stats"]
         chosen = self.customize_for_cluster(stats)
-        self.assignments[message.sender] = chosen
+        with self._lock:
+            self.assignments[message.sender] = chosen
+        assert self._backbone_state is not None  # frozen by prepare_candidates
         reply = Message(
             self.name,
             message.sender,
             MessageKind.BACKBONE_ASSIGNMENT,
             {
                 "vit_config": self.backbone.config,
-                "backbone_state": self.backbone.state_dict(),
+                "backbone_state": self._backbone_state,
                 "head_orders": self.head_orders,
                 "neuron_orders": self.neuron_orders,
                 "width": chosen.width,

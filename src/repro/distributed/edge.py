@@ -40,7 +40,10 @@ from repro.train import serving
 class EdgeConfig:
     """Edge-side knobs."""
 
-    nas: NASConfig = None  # type: ignore[assignment]
+    #: Filled from ``seed`` in ``__post_init__`` when not given (the
+    #: derived default depends on another field, so ``Optional`` +
+    #: post-init rather than a default_factory).
+    nas: Optional[NASConfig] = None
     aggregation_rounds: int = 2  # T in Algorithm 2
     keep_fraction: float = 0.7
     similarity_metric: str = "wasserstein"  # "wasserstein" (ours) or "js"

@@ -69,6 +69,41 @@ def resolve_workers(max_workers: WorkerSpec, num_tasks: Optional[int] = None) ->
     return max(1, workers)
 
 
+def split_worker_budget(
+    outer: WorkerSpec,
+    inner: WorkerSpec,
+    num_outer_tasks: Optional[int] = None,
+    budget: Optional[int] = None,
+) -> "tuple[int, WorkerSpec]":
+    """Split a thread budget between an outer fan-out and its nested one.
+
+    The cross-edge cluster loop composes with the per-device fan-outs:
+    ``parallel_edges`` workers each run an edge pipeline that itself
+    fans out across ``parallel_devices`` workers.  Naively resolving
+    both to the CPU count squares the thread count; this helper keeps
+    the product within ``budget`` (default: host CPU count) by capping
+    the *nested* width at ``budget // outer_workers`` — the outer tier
+    wins because edge pipelines are the longer, coarser-grained tasks.
+
+    Returns ``(outer_workers, inner_spec)``.  The inner spec passes
+    through untouched whenever no capping is needed: when the outer
+    fan-out is serial, when the inner one is serial/unset, or when the
+    requested product already fits the budget.  ``resolve_workers``
+    semantics apply to both specs (``None``/0/1 serial, ``-1``/"auto"
+    = CPU count).
+    """
+    outer_workers = resolve_workers(outer, num_tasks=num_outer_tasks)
+    if outer_workers <= 1:
+        return outer_workers, inner
+    inner_workers = resolve_workers(inner)
+    if inner_workers <= 1:
+        return outer_workers, inner
+    if budget is None:
+        budget = os.cpu_count() or 1
+    capped = max(1, budget // outer_workers)
+    return outer_workers, min(inner_workers, capped)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -42,7 +43,17 @@ class MessageKind(enum.Enum):
         )
 
 
+# Messages are constructed concurrently by parallel edge pipelines, so the
+# global sequence draws under a lock (``itertools.count`` is only atomic as
+# a CPython implementation detail).  Sequence numbers are construction
+# order — a debugging aid; ledger order is the network's (merged) log.
 _SEQUENCE = itertools.count()
+_SEQUENCE_LOCK = threading.Lock()
+
+
+def _next_sequence() -> int:
+    with _SEQUENCE_LOCK:
+        return next(_SEQUENCE)
 
 
 @dataclass
@@ -59,7 +70,7 @@ class Message:
     kind: MessageKind
     payload: Dict[str, Any] = field(default_factory=dict)
     nbytes: int = 0
-    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+    sequence: int = field(default_factory=_next_sequence)
 
     def __post_init__(self) -> None:
         if self.nbytes == 0:

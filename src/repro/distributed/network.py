@@ -1,18 +1,54 @@
-"""Simulated network with full traffic accounting.
+"""Simulated network with full traffic accounting — sharded for parallelism.
 
 The :class:`Network` delivers messages between named nodes instantly (this
 is a protocol/cost simulation, not a latency simulation) and records every
 transfer: per message kind, per direction, and per (sender, receiver) pair.
 Table I's "Upload Data" column is read directly from these counters.
+
+Concurrency model.  The fabric is a two-level ledger:
+
+* the root :class:`Network` owns the handler table and the *global*
+  ledger (``stats`` + ``log``);
+* a :class:`NetworkShard` (one per edge cluster, created with
+  :meth:`Network.shard`) records traffic into its own *local* ledger
+  while delivering through the root's handler table.  Shards touch no
+  root ledger state, so any number of edges can send concurrently;
+  :meth:`Network.merge_shards` then folds the local ledgers into the
+  global one **in the deterministic order the caller passes** (edge
+  index order in :class:`~repro.distributed.system.ACMESystem`), which
+  makes the merged log — and therefore ``kind_sequence()`` and the
+  Table-I byte counters — bit-identical to a serial edge-by-edge run.
+
+While a shard is delivering (or inside :meth:`NetworkShard.activate`),
+it is installed as the *ambient route* in a :mod:`contextvars` variable:
+nested sends issued through the root ``Network`` — e.g. the cloud
+handler's ``BACKBONE_ASSIGNMENT`` reply, written against the root it was
+constructed with — are transparently recorded on the shard that carried
+the request, keeping each edge's conversation on that edge's ledger.
+``contextvars`` (not a plain thread-local) so
+:func:`repro.distributed.executor.parallel_map`, which runs tasks in a
+copy of the caller's context, propagates an edge's active shard into
+any nested per-device fan-out.
+
+``Message.sequence`` numbers remain global construction order — a
+debugging aid only; ledger order is defined by the (merged) ``log``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.distributed.messages import Message, MessageKind
+from repro.distributed.messages import Message
+
+#: The shard currently carrying a delivery (None = record on the root).
+_ACTIVE_SHARD: contextvars.ContextVar[Optional["NetworkShard"]] = contextvars.ContextVar(
+    "repro_active_network_shard", default=None
+)
 
 
 @dataclass
@@ -36,6 +72,17 @@ class TrafficStats:
         self.by_kind[message.kind.value] += message.nbytes
         self.by_pair[(message.sender, message.receiver)] += message.nbytes
 
+    def merge_from(self, other: "TrafficStats") -> None:
+        """Fold another ledger's counters into this one (shard merge)."""
+        self.total_bytes += other.total_bytes
+        self.upload_bytes += other.upload_bytes
+        self.download_bytes += other.download_bytes
+        self.message_count += other.message_count
+        for kind, nbytes in other.by_kind.items():
+            self.by_kind[kind] += nbytes
+        for pair, nbytes in other.by_pair.items():
+            self.by_pair[pair] += nbytes
+
     def upload_megabytes(self) -> float:
         return self.upload_bytes / 1e6
 
@@ -44,39 +91,176 @@ class TrafficStats:
 
 
 class Network:
-    """In-process message fabric connecting cloud, edges and devices."""
+    """In-process message fabric connecting cloud, edges and devices.
+
+    The root fabric: owns the (lock-protected) handler table and the
+    global ledger.  Direct :meth:`send` calls record globally unless an
+    ambient :class:`NetworkShard` is active — see the module docstring.
+    """
 
     def __init__(self) -> None:
         self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {}
+        self._registry_lock = threading.Lock()
+        self._ledger_lock = threading.Lock()
         self.stats = TrafficStats()
         self.log: List[Message] = []
 
-    def register(self, name: str, handler: Callable[[Message], Optional[Message]]) -> None:
-        """Register a node's message handler under its unique name."""
-        if name in self._handlers:
-            raise ValueError(f"node name {name!r} already registered")
-        self._handlers[name] = handler
+    # -- registry -------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        handler: Callable[[Message], Optional[Message]],
+        shard: Optional["NetworkShard"] = None,
+    ) -> None:
+        """Register a node's message handler under its unique name.
+
+        Names are fabric-global: registering through a shard and through
+        the root address the same table, and a collision raises
+        immediately instead of silently overwriting the existing node's
+        handler — stale registrations from a torn-down system must be
+        removed with :meth:`unregister` first.
+        """
+        with self._registry_lock:
+            if name in self._handlers:
+                via = f" (via shard {shard.owner!r})" if shard is not None else ""
+                raise ValueError(
+                    f"node name {name!r} is already registered on this fabric"
+                    f"{via}; names are global across shards — unregister() the "
+                    f"existing node (tearing down a previous system?) or pick "
+                    f"a unique name"
+                )
+            self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        """Remove a node, freeing its name for a rebuilt system.
+
+        Raises :class:`KeyError` for unknown names so a teardown that
+        drifted out of sync with the registry fails loudly.
+        """
+        with self._registry_lock:
+            if name not in self._handlers:
+                raise KeyError(
+                    f"cannot unregister unknown node {name!r}; "
+                    f"registered nodes: {sorted(self._handlers)}"
+                )
+            del self._handlers[name]
 
     def nodes(self) -> List[str]:
-        return sorted(self._handlers)
+        with self._registry_lock:
+            return sorted(self._handlers)
 
+    def _resolve(self, receiver: str, shard: Optional["NetworkShard"] = None):
+        with self._registry_lock:
+            handler = self._handlers.get(receiver)
+        if handler is None:
+            via = f" (via shard {shard.owner!r})" if shard is not None else ""
+            raise KeyError(
+                f"unknown receiver {receiver!r}{via}; "
+                f"registered nodes: {self.nodes()}"
+            )
+        return handler
+
+    # -- delivery -------------------------------------------------------
     def send(self, message: Message) -> Optional[Message]:
         """Deliver a message; returns the receiver's (unrecorded) reply.
 
         Replies returned by handlers are control-flow conveniences for the
         simulation; protocols that need the reply *transmitted* must send it
         as an explicit message so its bytes are accounted.
-        """
-        if message.receiver not in self._handlers:
-            raise KeyError(f"unknown receiver {message.receiver!r}")
-        self.stats.record(message)
-        self.log.append(message)
-        return self._handlers[message.receiver](message)
 
+        When an ambient shard of this fabric is active (the send happens
+        inside a delivery or an :meth:`NetworkShard.activate` scope), the
+        transfer is recorded on that shard's local ledger instead of the
+        global one.
+        """
+        shard = _ACTIVE_SHARD.get()
+        if shard is not None and shard.root is self:
+            return shard.send(message)
+        handler = self._resolve(message.receiver)
+        with self._ledger_lock:
+            self.stats.record(message)
+            self.log.append(message)
+        return handler(message)
+
+    # -- sharding -------------------------------------------------------
+    def shard(self, owner: str) -> "NetworkShard":
+        """A local ledger view for one edge's conversation."""
+        return NetworkShard(self, owner)
+
+    def merge_shards(self, shards: Sequence["NetworkShard"]) -> None:
+        """Fold shard ledgers into the global one, in the given order.
+
+        The order is the determinism contract: merging in edge index
+        order reproduces the serial edge-by-edge log exactly.  Each
+        shard is drained (its local ledger reset) so a shard can never
+        be double-counted.
+        """
+        with self._ledger_lock:
+            for shard in shards:
+                if shard.root is not self:
+                    raise ValueError(
+                        f"shard {shard.owner!r} belongs to a different fabric"
+                    )
+                self.stats.merge_from(shard.stats)
+                self.log.extend(shard.log)
+                shard.stats = TrafficStats()
+                shard.log = []
+
+    # -- inspection -----------------------------------------------------
     def kind_sequence(self) -> List[str]:
         """The ordered kinds of all delivered messages (for conformance tests)."""
         return [m.kind.value for m in self.log]
 
     def reset_stats(self) -> None:
+        with self._ledger_lock:
+            self.stats = TrafficStats()
+            self.log = []
+
+
+class NetworkShard:
+    """One edge's ledger view of the fabric.
+
+    Shares the root's handler table (delivery semantics are identical)
+    but records traffic into a local :class:`TrafficStats`/log that only
+    this shard's owner writes — the thread-safety unit of the fabric.
+    Fold into the global ledger with :meth:`Network.merge_shards`.
+    """
+
+    def __init__(self, root: Network, owner: str) -> None:
+        self.root = root
+        self.owner = owner
         self.stats = TrafficStats()
-        self.log = []
+        self.log: List[Message] = []
+
+    def register(self, name: str, handler: Callable[[Message], Optional[Message]]) -> None:
+        """Register on the *root* registry (names are fabric-global)."""
+        self.root.register(name, handler, shard=self)
+
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver through the root's handler table, record locally.
+
+        The shard is installed as the ambient route for the duration of
+        the delivery, so a handler's nested sends through the root land
+        on this ledger too.
+        """
+        handler = self.root._resolve(message.receiver, shard=self)
+        self.stats.record(message)
+        self.log.append(message)
+        token = _ACTIVE_SHARD.set(self)
+        try:
+            return handler(message)
+        finally:
+            _ACTIVE_SHARD.reset(token)
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Scope in which root sends are routed to this shard's ledger."""
+        token = _ACTIVE_SHARD.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE_SHARD.reset(token)
+
+    def kind_sequence(self) -> List[str]:
+        """Ordered kinds of this shard's (unmerged) local log."""
+        return [m.kind.value for m in self.log]

@@ -17,6 +17,7 @@ and the full traffic ledger — everything the evaluation section needs.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -30,10 +31,10 @@ from repro.data.synthetic import SyntheticImageGenerator, make_cifar100_like
 from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
-from repro.distributed.executor import WorkerSpec
+from repro.distributed.executor import WorkerSpec, parallel_map, split_worker_budget
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import centralized_upload_bytes, relative_upload
-from repro.distributed.network import Network, TrafficStats
+from repro.distributed.network import Network, NetworkShard, TrafficStats
 from repro.hw.profiles import DeviceProfile, make_fleet
 from repro.models.vit import ViTConfig, VisionTransformer
 
@@ -54,9 +55,12 @@ class ACMEConfig:
     public_samples_per_class: int = 24
     shared_fraction: float = 0.15  # edge keeps 10-20% of cluster data
     dirichlet_alpha: float = 0.6  # device-level non-IID skew
-    vit: ViTConfig = None  # type: ignore[assignment]
-    cloud: CloudConfig = None  # type: ignore[assignment]
-    edge: EdgeConfig = None  # type: ignore[assignment]
+    #: Derived from the other fields in ``__post_init__`` when not given
+    #: (``Optional`` + post-init, since the defaults depend on
+    #: ``num_classes``/``seed``/each other).
+    vit: Optional[ViTConfig] = None
+    cloud: Optional[CloudConfig] = None
+    edge: Optional[EdgeConfig] = None
     storage_levels: Sequence[int] = (20_000, 30_000, 40_000, 50_000, 60_000)
     device_importance: object = None  # Optional[ImportanceConfig]
     finalize: bool = True  # run final fine-tune + evaluation
@@ -75,6 +79,19 @@ class ACMEConfig:
     #: reproduces the serial run bit-for-bit (tested under float64 in
     #: tests/distributed/test_parallel_system.py).
     parallel_devices: WorkerSpec = None
+    #: Worker threads for the cluster dimension: each worker runs one
+    #: edge's whole phase-2/3/4 pipeline (backbone request, header NAS,
+    #: aggregation loop, finalize) end to end.  ``None``/0/1 = serial;
+    #: -1/"auto" = host CPU count.  Every edge sends through its own
+    #: :class:`~repro.distributed.network.NetworkShard`, merged in edge
+    #: index order, and the cloud's request path is immutable-shared /
+    #: per-edge-isolated — so any value reproduces the serial float64
+    #: run bit-for-bit, traffic ledger included
+    #: (tests/distributed/test_cross_edge_parallel.py).  Composes with
+    #: ``parallel_devices``: when both fan out, the nested device width
+    #: is capped so ``edges × devices`` stays within the host budget
+    #: (:func:`repro.distributed.executor.split_worker_budget`).
+    parallel_edges: WorkerSpec = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -104,10 +121,18 @@ class ACMEConfig:
             )
         # Wire the cluster-level worker budget through the edge tier and
         # into NAS child scoring, without clobbering explicit settings.
+        # When the edge tier itself fans out (parallel_edges), the
+        # nested per-device width is capped so the two tiers' product
+        # stays within the host thread budget.
+        _, device_spec = split_worker_budget(
+            self.parallel_edges,
+            self.parallel_devices,
+            num_outer_tasks=self.num_clusters,
+        )
         if self.edge.parallel_devices is None:
-            self.edge.parallel_devices = self.parallel_devices
+            self.edge.parallel_devices = device_spec
         if self.edge.nas is not None and self.edge.nas.parallel_workers is None:
-            self.edge.nas.parallel_workers = self.parallel_devices
+            self.edge.nas.parallel_workers = device_spec
 
 
 @dataclass
@@ -129,6 +154,11 @@ class ACMERunResult:
     traffic: TrafficStats
     centralized_upload_bytes: int
     message_kinds: List[str]
+    #: Per-edge sub-sequence of ``message_kinds``: the kinds each edge's
+    #: network shard recorded, in that edge's program order.  Serial and
+    #: cross-edge-parallel runs produce identical sub-sequences (the
+    #: global sequence is their concatenation in edge index order).
+    edge_message_kinds: Dict[str, List[str]] = field(default_factory=dict)
 
     @property
     def mean_accuracy(self) -> float:
@@ -178,6 +208,8 @@ class ACMESystem:
         )
         self.network = Network()
         self.rng = np.random.default_rng(cfg.seed)
+        #: Per-edge message-kind sub-sequences of the last cluster loop.
+        self._edge_message_kinds: Dict[str, List[str]] = {}
 
         # --- data ------------------------------------------------------
         self.public_dataset = self.generator.generate(
@@ -250,14 +282,43 @@ class ACMESystem:
             return self._run()
 
     def _run(self) -> ACMERunResult:
+        self.run_cloud_phases()
+        clusters = self.run_cluster_loop()
+        return ACMERunResult(
+            clusters=clusters,
+            traffic=self.network.stats,
+            centralized_upload_bytes=centralized_upload_bytes(self.device_datasets),
+            message_kinds=self.network.kind_sequence(),
+            edge_message_kinds=dict(self._edge_message_kinds),
+        )
+
+    def run_cloud_phases(self) -> None:
+        """Phase 0/1 cloud-side setup (no network traffic).
+
+        Pretrains θ0, generates the dynamic backbone, and precomputes
+        the PFG candidate loss grid — after which every piece of state
+        the cloud's request path reads is immutable, the precondition
+        for serving concurrent edges.
+        """
+        with self._dtype_scope():
+            self.cloud.pretrain_reference()
+            self.cloud.generate_dynamic_backbone()
+            self.cloud.prepare_candidates()
+
+    def run_edge_pipeline(
+        self, edge: EdgeServer, shard: Optional[NetworkShard] = None
+    ) -> ClusterResult:
+        """One edge's complete phase-2/3/4 pipeline + finalize.
+
+        This is the schedulable unit of the cross-edge fan-out: it
+        touches only the edge's own state (its devices, header search,
+        similarity matrix), the cloud's immutable/per-edge-safe request
+        path, and — when ``shard`` is given — that shard's private
+        ledger, so any number of edges can run concurrently.
+        """
         cfg = self.config
-
-        # Phase 0/1 (cloud-side, no network traffic).
-        self.cloud.pretrain_reference()
-        self.cloud.generate_dynamic_backbone()
-
-        clusters: List[ClusterResult] = []
-        for edge in self.edges:
+        scope = shard.activate() if shard is not None else contextlib.nullcontext()
+        with scope:
             # Phase 1: cloud ↔ edge bidirectional interaction.
             edge.request_backbone()
             # Phase 2-1: header generation + distribution.
@@ -269,25 +330,59 @@ class ACMESystem:
             # e.g. the Table I traffic accounting where only byte counts
             # matter — payload sizes depend on shapes, not trained values).
             # Fans out across the edge's parallel_devices workers, which
-            # __post_init__ seeded from cfg.parallel_devices unless the
-            # edge config set its own value explicitly.
+            # __post_init__ seeded from cfg.parallel_devices (budget-split
+            # against parallel_edges) unless the edge config set its own
+            # value explicitly.
             evals = edge.finalize() if cfg.finalize else []
-            clusters.append(
-                ClusterResult(
-                    edge_name=edge.name,
-                    width=edge.assigned_width or 1.0,
-                    depth=edge.assigned_depth or cfg.vit.depth,
-                    device_accuracies=[e["accuracy"] for e in evals],
-                    device_losses=[e["loss"] for e in evals],
-                )
-            )
-
-        return ACMERunResult(
-            clusters=clusters,
-            traffic=self.network.stats,
-            centralized_upload_bytes=centralized_upload_bytes(self.device_datasets),
-            message_kinds=self.network.kind_sequence(),
+        return ClusterResult(
+            edge_name=edge.name,
+            width=edge.assigned_width or 1.0,
+            depth=edge.assigned_depth or cfg.vit.depth,
+            device_accuracies=[e["accuracy"] for e in evals],
+            device_losses=[e["loss"] for e in evals],
         )
+
+    def run_cluster_loop(self) -> List[ClusterResult]:
+        """Run every edge's pipeline, possibly concurrently.
+
+        Each edge sends through its own network shard; the shards are
+        merged into the global ledger in edge index order afterwards, so
+        the traffic statistics and the message log are bit-identical to
+        the serial edge-by-edge loop for any ``parallel_edges`` value.
+        Cluster results come back in edge order (``parallel_map``'s
+        input-order contract).
+        """
+        with self._dtype_scope():
+            shards = [self.network.shard(edge.name) for edge in self.edges]
+            try:
+                clusters = parallel_map(
+                    lambda pair: self.run_edge_pipeline(*pair),
+                    list(zip(self.edges, shards)),
+                    max_workers=self.config.parallel_edges,
+                )
+            finally:
+                # Merge even when a pipeline raised, so the traffic the
+                # completed edges recorded stays inspectable on the
+                # global ledger instead of dying with the local shards.
+                # Capture per-edge sub-sequences first — the merge
+                # drains the shard ledgers.
+                self._edge_message_kinds = {
+                    shard.owner: shard.kind_sequence() for shard in shards
+                }
+                self.network.merge_shards(shards)
+        return clusters
+
+    def dispose(self) -> None:
+        """Unregister every node from the fabric.
+
+        Makes the node names available again — the teardown path for
+        tests or drivers that rebuild systems against a fabric.
+        """
+        for edge in self.edges:
+            for device in edge.devices:
+                self.network.unregister(device.name)
+            self.network.unregister(edge.name)
+        self.network.unregister(self.cloud.name)
 
     def run_centralized_baseline(self) -> TrafficStats:
         """Traffic of the CS baseline: every device uploads its dataset.

@@ -1,0 +1,319 @@
+"""Cross-edge parallel cluster pipeline reproduces the serial run exactly.
+
+``ACMEConfig.parallel_edges`` fans whole per-edge pipelines (backbone
+request, header NAS, aggregation loop, finalize) out across worker
+threads.  Each edge sends through its own
+:class:`repro.distributed.network.NetworkShard`; shards merge into the
+global ledger in deterministic edge order, and the cloud's request path
+is immutable-shared with a per-edge response path — so any worker count
+must reproduce the serial float64 run **bit-for-bit**, including the
+full traffic ledger.  These tests assert exactly that, plus the fabric
+semantics (shard routing, merge determinism, register/unregister) and
+the worker-budget split that keeps nested fan-outs within the host
+budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ACMEConfig, ACMESystem
+from repro.distributed.executor import split_worker_budget
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+
+
+def _fleet_config(**overrides) -> ACMEConfig:
+    base = dict(
+        num_clusters=3,
+        devices_per_cluster=2,
+        num_classes=6,
+        samples_per_class=18,
+        compute_dtype="float64",
+        seed=0,
+    )
+    base.update(overrides)
+    return ACMEConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def serial_and_parallel_runs():
+    # Module-scoped fixtures set up BEFORE the function-scoped autouse
+    # reset in tests/conftest.py, so reset explicitly: these runs must
+    # not inherit engine state from whichever test happened to run last.
+    from tests.helpers import reset_engine_state
+
+    reset_engine_state()
+    serial = ACMESystem(_fleet_config()).run()
+    parallel = ACMESystem(_fleet_config(parallel_edges=3)).run()
+    return serial, parallel
+
+
+class TestEndToEndParity:
+    def test_accuracies_bit_for_bit(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        for cs, cp in zip(serial.clusters, parallel.clusters):
+            assert cs.edge_name == cp.edge_name
+            assert cs.device_accuracies == cp.device_accuracies
+            assert cs.device_losses == cp.device_losses
+            assert (cs.width, cs.depth) == (cp.width, cp.depth)
+
+    def test_global_message_sequence_identical(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        assert serial.message_kinds == parallel.message_kinds
+
+    def test_per_edge_subsequences_identical(self, serial_and_parallel_runs):
+        """Each edge's shard log is the same kind sub-sequence either way,
+        and the global sequence is their concatenation in edge order."""
+        serial, parallel = serial_and_parallel_runs
+        assert serial.edge_message_kinds.keys() == parallel.edge_message_kinds.keys()
+        for edge_name in serial.edge_message_kinds:
+            assert (
+                serial.edge_message_kinds[edge_name]
+                == parallel.edge_message_kinds[edge_name]
+            )
+        concatenated = [
+            kind
+            for edge_name in sorted(
+                serial.edge_message_kinds, key=lambda n: int(n.removeprefix("edge"))
+            )
+            for kind in serial.edge_message_kinds[edge_name]
+        ]
+        assert concatenated == serial.message_kinds
+
+    def test_traffic_ledger_identical(self, serial_and_parallel_runs):
+        serial, parallel = serial_and_parallel_runs
+        s, p = serial.traffic, parallel.traffic
+        assert s.total_bytes == p.total_bytes
+        assert s.upload_bytes == p.upload_bytes
+        assert s.download_bytes == p.download_bytes
+        assert s.message_count == p.message_count
+        assert dict(s.by_kind) == dict(p.by_kind)
+        assert dict(s.by_pair) == dict(p.by_pair)
+
+    def test_ledger_internally_consistent(self, serial_and_parallel_runs):
+        _serial, parallel = serial_and_parallel_runs
+        stats = parallel.traffic
+        assert stats.total_bytes == stats.upload_bytes + stats.download_bytes
+        assert stats.total_bytes == sum(stats.by_kind.values())
+        assert stats.total_bytes == sum(stats.by_pair.values())
+
+    def test_composes_with_parallel_devices(self):
+        """Both tiers fanning out at once still reproduces serial."""
+        serial = ACMESystem(_fleet_config()).run()
+        nested = ACMESystem(
+            _fleet_config(parallel_edges=2, parallel_devices=2)
+        ).run()
+        assert [c.device_accuracies for c in serial.clusters] == [
+            c.device_accuracies for c in nested.clusters
+        ]
+        assert serial.message_kinds == nested.message_kinds
+        assert dict(serial.traffic.by_pair) == dict(nested.traffic.by_pair)
+
+
+class TestShardFabric:
+    def test_shard_records_locally_until_merge(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        shard = net.shard("edge0")
+        shard.send(Message("a", "sink", MessageKind.ACK, nbytes=3))
+        assert net.stats.total_bytes == 0 and net.log == []
+        assert shard.stats.total_bytes == 3
+        assert shard.kind_sequence() == ["ack"]
+        net.merge_shards([shard])
+        assert net.stats.total_bytes == 3
+        assert net.kind_sequence() == ["ack"]
+        # Drained: merging again cannot double-count.
+        assert shard.log == [] and shard.stats.total_bytes == 0
+        net.merge_shards([shard])
+        assert net.stats.total_bytes == 3
+
+    def test_merge_order_is_the_log_order(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        first, second = net.shard("edge0"), net.shard("edge1")
+        # Interleave sends; the merged log must follow merge order, not
+        # send order.
+        second.send(Message("b", "sink", MessageKind.PERSONALIZED_SET, nbytes=2))
+        first.send(Message("a", "sink", MessageKind.IMPORTANCE_SET, nbytes=1))
+        net.merge_shards([first, second])
+        assert net.kind_sequence() == ["importance_set", "personalized_set"]
+        assert net.stats.upload_bytes == 1 and net.stats.download_bytes == 2
+        assert net.stats.by_pair[("a", "sink")] == 1
+
+    def test_nested_handler_send_lands_on_the_carrying_shard(self):
+        """A handler's reply through the ROOT network (the cloud pattern)
+        is recorded on the shard that carried the request."""
+        net = Network()
+        net.register("edge", lambda m: None)
+
+        def cloud_handler(message):
+            net.send(Message("cloud", "edge", MessageKind.BACKBONE_ASSIGNMENT, nbytes=8))
+
+        net.register("cloud", cloud_handler)
+        shard = net.shard("edge0")
+        shard.send(Message("edge", "cloud", MessageKind.CLUSTER_STATS, nbytes=4))
+        assert shard.kind_sequence() == ["cluster_stats", "backbone_assignment"]
+        assert shard.stats.total_bytes == 12
+        assert net.stats.total_bytes == 0
+
+    def test_activate_scope_routes_root_sends(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        shard = net.shard("edge0")
+        with shard.activate():
+            net.send(Message("a", "sink", MessageKind.ACK, nbytes=5))
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=7))
+        assert shard.stats.total_bytes == 5
+        assert net.stats.total_bytes == 7
+
+    def test_merge_rejects_foreign_shards(self):
+        net, other = Network(), Network()
+        with pytest.raises(ValueError, match="different fabric"):
+            net.merge_shards([other.shard("edge0")])
+
+    def test_shard_register_is_fabric_global(self):
+        net = Network()
+        shard = net.shard("edge0")
+        shard.register("node", lambda m: None)
+        assert "node" in net.nodes()
+        with pytest.raises(ValueError, match="shard 'edge0'"):
+            shard.register("node", lambda m: None)
+
+    def test_unknown_receiver_names_the_shard(self):
+        net = Network()
+        shard = net.shard("edge0")
+        with pytest.raises(KeyError, match="edge0"):
+            shard.send(Message("a", "nowhere", MessageKind.ACK, nbytes=1))
+
+
+class TestTeardown:
+    def test_unregister_frees_the_name(self):
+        net = Network()
+        net.register("x", lambda m: None)
+        net.unregister("x")
+        assert net.nodes() == []
+        net.register("x", lambda m: None)  # no duplicate error
+
+    def test_unregister_unknown_raises(self):
+        net = Network()
+        with pytest.raises(KeyError, match="unknown node"):
+            net.unregister("ghost")
+
+    def test_system_dispose_unregisters_everything(self):
+        system = ACMESystem(
+            _fleet_config(num_clusters=1, finalize=False)
+        )
+        assert len(system.network.nodes()) == 1 + 1 + 2  # cloud + edge + devices
+        system.dispose()
+        assert system.network.nodes() == []
+
+
+class TestWorkerBudgetSplit:
+    def test_serial_outer_passes_inner_through(self):
+        assert split_worker_budget(None, 4) == (1, 4)
+        assert split_worker_budget(1, "auto") == (1, "auto")
+
+    def test_serial_inner_untouched(self):
+        assert split_worker_budget(4, None) == (4, None)
+        assert split_worker_budget(4, 1) == (4, 1)
+
+    def test_product_capped_by_budget(self):
+        outer, inner = split_worker_budget(4, 8, budget=8)
+        assert outer == 4 and inner == 2
+        outer, inner = split_worker_budget(8, 8, budget=4)
+        assert outer == 8 and inner == 1  # outer tier wins; inner floors at 1
+
+    def test_within_budget_passes_through(self):
+        assert split_worker_budget(2, 3, budget=6) == (2, 3)
+
+    def test_outer_clamped_to_tasks(self):
+        outer, inner = split_worker_budget(16, 4, num_outer_tasks=2, budget=8)
+        assert outer == 2 and inner == 4
+
+    def test_config_wiring_applies_split(self):
+        config = _fleet_config(parallel_edges=2, parallel_devices=8)
+        _, expected = split_worker_budget(2, 8, num_outer_tasks=3)
+        assert config.edge.parallel_devices == expected
+        assert config.edge.nas.parallel_workers == expected
+
+    def test_config_wiring_without_edges_unchanged(self):
+        config = _fleet_config(parallel_devices=5)
+        assert config.edge.parallel_devices == 5
+        assert config.edge.nas.parallel_workers == 5
+
+
+class TestCloudConcurrencySafety:
+    def test_prepare_candidates_freezes_request_state(self):
+        system = ACMESystem(_fleet_config(num_clusters=1, finalize=False))
+        system.run_cloud_phases()
+        cloud = system.cloud
+        assert cloud._losses_ready
+        # The request path must not mutate the backbone's configuration.
+        width_before = cloud.backbone.width
+        depth_before = cloud.backbone.depth
+        stats_payload = {
+            "mean_gpu_capacity": 4.0,
+            "min_storage": 50_000,
+            "num_patches": cloud.backbone.config.num_patches,
+            "batch_size": 16,
+            "max_base_power": 1.0,
+            "max_power_per_layer": 0.5,
+            "max_base_latency": 0.1,
+            "max_latency_per_layer": 0.05,
+        }
+        candidates = cloud.evaluate_candidates(stats_payload)
+        assert cloud.backbone.width == width_before
+        assert cloud.backbone.depth == depth_before
+        assert len(candidates) == len(cloud.config.width_choices) * len(
+            cloud._depth_choices()
+        )
+
+    def test_concurrent_requests_match_serial_replies(self):
+        """Same stats → same deterministic reply regardless of arrival
+        order or concurrency."""
+        import concurrent.futures
+
+        system = ACMESystem(_fleet_config(finalize=False))
+        system.run_cloud_phases()
+        cloud = system.cloud
+        from repro.hw.profiles import cluster_statistics
+
+        stats = [
+            cluster_statistics([d.profile for d in edge.devices])
+            for edge in system.edges
+        ]
+        serial = [cloud.customize_for_cluster(s) for s in stats]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=3) as pool:
+            concurrent = list(pool.map(cloud.customize_for_cluster, stats))
+        assert serial == concurrent
+
+
+class TestSelectModelDeterminism:
+    def test_selection_is_order_invariant(self):
+        from repro.core.pareto import Candidate, build_pfg, select_model
+
+        rng = np.random.default_rng(0)
+        candidates = [
+            Candidate(w, d, (float(rng.uniform(1, 2)), float(rng.uniform(5, 9)), w * d * 100))
+            for w in (0.25, 0.5, 0.75, 1.0)
+            for d in (1, 2, 3, 4)
+        ]
+        reference = select_model(build_pfg(candidates, 0.05), storage_limit=500)
+        for seed in range(5):
+            shuffled = list(candidates)
+            np.random.default_rng(seed).shuffle(shuffled)
+            chosen = select_model(build_pfg(shuffled, 0.05), storage_limit=500)
+            assert (chosen.width, chosen.depth) == (reference.width, reference.depth)
+
+    def test_exact_ties_break_on_width_then_depth(self):
+        from repro.core.pareto import Candidate, build_pfg, select_model
+
+        # Two candidates with identical objectives: the smaller (width,
+        # depth) must win no matter the list order.
+        tied = [
+            Candidate(1.0, 4, (1.0, 5.0, 100.0)),
+            Candidate(0.5, 2, (1.0, 5.0, 100.0)),
+        ]
+        for ordering in (tied, tied[::-1]):
+            chosen = select_model(build_pfg(ordering, 0.05), storage_limit=500)
+            assert (chosen.width, chosen.depth) == (0.5, 2)
