@@ -1,0 +1,214 @@
+"""Perf trajectory bench: fleet-batched training vs the serial device loop.
+
+Two comparisons, both run against the **current fast serial path** (fused
+per-member optimizers, cached frozen features — the PR 3 defaults), so the
+recorded speedups are what the fleet trainer adds on top of it:
+
+* **fleet ``train_headers_fleet``** — a 48-member linear-probe fleet
+  (the per-device personalization regime: many small headers over one
+  frozen backbone, small local batches) trained as one graph per round
+  with a single fused :class:`~repro.nn.optim.FleetOptimizer` step, vs
+  48 serial ``train_header`` runs.  Floor: 1.5×.
+* **fleet ``fleet_importance_rounds``** — a 12-member DAG-header fleet
+  running Algorithm 2's local importance rounds (the aggregation loop's
+  per-device phase), vs 12 serial ``compute_importance_set`` runs.
+  Floor: 1.1× (DAG forwards dominate; the fleet fuses the loss,
+  backward and step phases).
+
+Both comparisons assert **bit-for-bit float64 parity** while they time:
+per-member epoch losses and accuracies, final header weights, and
+importance sets must equal the serial path exactly — the fleet trainer
+is a pure execution-plan change.
+
+Results are persisted machine-readably to ``bench_results/`` and merged
+into ``BENCH_perf.json`` at the repo root (floors replayed in tier-1 by
+``tests/test_perf_floors.py``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_fleet_train.py
+  or: PYTHONPATH=src python -m pytest benchmarks/bench_fleet_train.py -s
+``--smoke`` runs tiny shapes with no floor assertions and without
+touching ``BENCH_perf.json`` (wired into tier-1 so this script cannot
+rot between perf PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import emit_perf, perf_record
+
+from repro.core.header_importance import ImportanceConfig, compute_importance_set
+from repro.data.synthetic import make_cifar100_like
+from repro.models.blocks import HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.models.headers import LinearHeader
+from repro.models.vit import VisionTransformer, ViTConfig
+from repro.train.fleet import fleet_importance_rounds, train_headers_fleet
+from repro.train.trainer import TrainConfig, train_header
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Floors asserted by emit_perf — regressions below these fail the bench.
+TRAIN_FLEET_FLOOR = 1.5
+IMPORTANCE_FLEET_FLOOR = 1.1
+
+
+def _backbone(smoke: bool):
+    vit = ViTConfig(num_classes=8, depth=1, embed_dim=16, num_heads=4, image_size=16)
+    return vit, VisionTransformer(vit, seed=0)
+
+
+def _timed_best(fn, repeats: int):
+    fn()  # warm (im2col caches, allocator pools)
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    measurement = {
+        "best_s": min(times),
+        "mean_s": sum(times) / len(times),
+        "repeats": repeats,
+        "warmup": 1,
+        "times_s": times,
+    }
+    return measurement, result
+
+
+def bench_fleet_train(smoke: bool):
+    """48 linear-probe headers: serial train_header loop vs one fleet."""
+    members = 4 if smoke else 48
+    vit, backbone = _backbone(smoke)
+    generator = make_cifar100_like(num_classes=8, image_size=16, seed=0)
+    datasets = [
+        generator.generate(samples_per_class=2 if smoke else 4, seed=10 + i)
+        for i in range(members)
+    ]
+    configs = [
+        TrainConfig(epochs=1 if smoke else 2, batch_size=2, seed=i)
+        for i in range(members)
+    ]
+
+    def headers():
+        return [
+            LinearHeader(
+                vit.embed_dim, vit.num_patches, vit.num_classes,
+                rng=np.random.default_rng(i),
+            )
+            for i in range(members)
+        ]
+
+    def run_serial():
+        fleet = headers()
+        reports = [
+            train_header(backbone, h, d, config=c, freeze_backbone=True)
+            for h, d, c in zip(fleet, datasets, configs)
+        ]
+        return fleet, reports
+
+    def run_fleet():
+        fleet = headers()
+        reports = train_headers_fleet(backbone, fleet, datasets, configs)
+        return fleet, reports
+
+    repeats = 2 if smoke else 5
+    fast, (fleet_headers, fleet_reports) = _timed_best(run_fleet, repeats)
+    baseline, (serial_headers, serial_reports) = _timed_best(run_serial, repeats)
+
+    # The fleet is a pure execution-plan change: per-member traces and
+    # final weights must match the serial path bit for bit.
+    for rs, rf in zip(serial_reports, fleet_reports):
+        assert rs.epoch_losses == rf.epoch_losses
+        assert rs.epoch_accuracies == rf.epoch_accuracies
+    for s, f in zip(serial_headers, fleet_headers):
+        for (name, a), (_, b) in zip(s.named_parameters(), f.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)
+
+    return perf_record(
+        "fleet_train_headers",
+        fast=fast,
+        baseline=baseline,
+        floor=None if smoke else TRAIN_FLEET_FLOOR,
+        members=members,
+        final_loss=fleet_reports[0].final_loss,
+    )
+
+
+def bench_fleet_importance(smoke: bool):
+    """12 DAG headers: serial importance rounds vs one fleet round."""
+    members = 3 if smoke else 12
+    vit, backbone = _backbone(smoke)
+    generator = make_cifar100_like(num_classes=8, image_size=16, seed=0)
+    spec = HeaderSpec.from_sequence([0, 1, 0, 2, 1, 2, 2, 0])
+    datasets = [
+        generator.generate(samples_per_class=2 if smoke else 4, seed=40 + i)
+        for i in range(members)
+    ]
+    configs = [ImportanceConfig(seed=i, batch_size=4) for i in range(members)]
+
+    def headers():
+        return [
+            DAGHeader(
+                vit.embed_dim, vit.num_patches, vit.num_classes, spec,
+                rng=np.random.default_rng(i),
+            )
+            for i in range(members)
+        ]
+
+    def run_serial():
+        fleet = headers()
+        return [
+            compute_importance_set(backbone, h, d, config=c)
+            for h, d, c in zip(fleet, datasets, configs)
+        ]
+
+    def run_fleet():
+        fleet = headers()
+        return fleet_importance_rounds(backbone, fleet, datasets, configs)
+
+    repeats = 2 if smoke else 5
+    fast, fleet_sets = _timed_best(run_fleet, repeats)
+    baseline, serial_sets = _timed_best(run_serial, repeats)
+    for a, b in zip(serial_sets, fleet_sets):
+        np.testing.assert_array_equal(a, b)
+
+    return perf_record(
+        "fleet_importance_rounds",
+        fast=fast,
+        baseline=baseline,
+        floor=None if smoke else IMPORTANCE_FLEET_FLOOR,
+        members=members,
+    )
+
+
+def run_bench(smoke: bool = False):
+    records = [bench_fleet_train(smoke), bench_fleet_importance(smoke)]
+    # Smoke runs exercise the full pipeline but never touch the committed
+    # trajectory file or the full run's bench_results records.
+    return emit_perf(
+        "bench_fleet_train_smoke" if smoke else "bench_fleet_train",
+        records,
+        path=None if smoke else REPO_ROOT / "BENCH_perf.json",
+    )
+
+
+def test_fleet_train_bench():
+    run_bench()
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny shapes, no floor assertions, BENCH_perf.json untouched",
+    )
+    run_bench(smoke=parser.parse_args().smoke)

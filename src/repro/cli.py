@@ -29,6 +29,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         samples_per_class=args.samples,
         parallel_devices=args.workers,
         parallel_edges=args.edge_workers,
+        fleet_training=args.fleet,
         seed=args.seed,
     )
     system = ACMESystem(config)
@@ -116,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
         "composes with --workers under a shared thread budget, and any "
         "value reproduces the serial results — traffic ledger included — "
         "exactly",
+    )
+    run.add_argument(
+        "--fleet",
+        action="store_true",
+        help="fleet-batch each cluster's local training: one computation "
+        "graph and one fused optimizer step per round for all of an "
+        "edge's headers; reproduces the per-device results exactly",
     )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)

@@ -122,10 +122,17 @@ class DataLoader:
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if rng is None:
+            # Fallback: the shared per-thread stream (see repro.nn.init),
+            # so unseeded shuffling loaders respect ``set_seed`` instead
+            # of all replaying the identical default_rng(0) order.
+            from repro.nn import init
+
+            rng = init.default_generator()
         self.dataset = dataset
         self.batch_size = batch_size
         self.shuffle = shuffle
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng
         self.drop_last = drop_last
         # With ``yield_indices`` batches are ``(indices, labels)`` pairs —
         # no image gather-copy is materialized; the shuffle RNG stream is

@@ -104,10 +104,23 @@ class DeviceNode:
         q = compute_importance_set(
             self.backbone, self.header, self.dataset, config=self.importance_config
         )
+        return self.build_importance_message(q, include_feature_sample)
+
+    def build_importance_message(
+        self, importance: np.ndarray, include_feature_sample: bool = False
+    ) -> Message:
+        """The ``IMPORTANCE_SET`` upload for an already-computed set.
+
+        Split from :meth:`importance_round` so the edge's fleet-batched
+        local-update phase (:mod:`repro.train.fleet`), which computes all
+        devices' sets in one stacked graph, produces byte-identical wire
+        messages in the same device order as the per-device rounds.
+        """
+        assert self.backbone is not None
         # Wire format: importance sets travel as float32 (like any practical
         # serialization); local computation stays float64.
         payload = {
-            "importance": q.astype(np.float32),
+            "importance": np.asarray(importance).astype(np.float32),
             "device_id": self.profile.device_id,
         }
         if include_feature_sample:
@@ -116,6 +129,10 @@ class DeviceNode:
             ).astype(np.float32)
         return Message(self.name, "", MessageKind.IMPORTANCE_SET, payload)
 
+    def finetune_config(self) -> TrainConfig:
+        """The final fine-tuning schedule (shared with the fleet path)."""
+        return TrainConfig(epochs=2, seed=self.seed)
+
     def finetune(self, config: Optional[TrainConfig] = None) -> None:
         """Final local header training (backbone frozen, mask enforced)."""
         assert self.backbone is not None and self.header is not None
@@ -123,7 +140,7 @@ class DeviceNode:
             self.backbone,
             self.header,
             self.dataset,
-            config=config or TrainConfig(epochs=2, seed=self.seed),
+            config=config or self.finetune_config(),
             freeze_backbone=True,
         )
 

@@ -59,6 +59,17 @@ class EdgeConfig:
     #: threads from overlapping.  Composes with ``parallel_devices``
     #: (fine-tuning still fans out across workers).
     batched_serving: bool = True
+    #: Fleet-batched local **training**: run the cluster's per-device
+    #: header updates (the aggregation loop's importance rounds and the
+    #: finalize fine-tune) as one computation graph per round with a
+    #: single fused fleet-optimizer step (:mod:`repro.train.fleet`).
+    #: Bit-for-bit identical to the per-device loops under float64 —
+    #: losses, weights, importance sets, and the traffic ledger.  When
+    #: enabled it **replaces** the ``parallel_devices`` fan-out for
+    #: those phases (the stacked graph already amortizes what the
+    #: threads would); eligibility falls back to the per-device path for
+    #: stochastic models or heterogeneous backbones.
+    fleet_training: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -183,23 +194,76 @@ class EdgeServer:
             similarity_from_distances(distances), temperature=0.05
         )
 
+    def _fleet_ready(self, backbones_equal: Optional[bool] = None) -> bool:
+        """Whether this cluster's local updates can run fleet-batched.
+
+        The fleet trainer serves every device from one backbone instance
+        and one stacked graph, so it needs ≥2 devices that all hold
+        value-identical frozen backbones and RNG-free forwards.  Pass
+        ``backbones_equal`` when the caller already ran the
+        :func:`~repro.train.serving.backbones_equivalent` sweep — it is
+        O(cluster × backbone params) and worth not repeating.
+        """
+        from repro.train import fleet
+
+        devices = self.devices
+        if not (
+            self.config.fleet_training
+            and len(devices) > 1
+            and all(d.backbone is not None and d.header is not None for d in devices)
+        ):
+            return False
+        if backbones_equal is None:
+            backbones_equal = serving.backbones_equivalent(
+                [d.backbone for d in devices]
+            )
+        return backbones_equal and fleet.fleet_supported(
+            devices[0].backbone, [d.header for d in devices]
+        )
+
     def aggregation_loop(self, num_rounds: Optional[int] = None) -> np.ndarray:
         """Run T single-loop rounds; returns the similarity matrix used."""
+        from repro.train import fleet
+
         rounds = num_rounds if num_rounds is not None else self.config.aggregation_rounds
+        # Eligibility is loop-invariant: backbones are frozen during the
+        # aggregation rounds (only header masks/weights change), so run
+        # the parameter-equivalence sweep once, not once per round.
+        use_fleet = self._fleet_ready()
         for t in range(rounds):
             self._pending_importance.clear()
             include_features = self.similarity is None
-            # The local importance rounds (header training + Taylor
-            # accumulation) are independent per device — fan out.  The
-            # network sends stay serial and in device order so the
-            # traffic ledger and message sequence match the serial run.
-            messages = parallel_map(
-                lambda device: device.importance_round(
-                    include_feature_sample=include_features
-                ),
-                self.devices,
-                max_workers=self.config.parallel_devices,
-            )
+            if use_fleet:
+                # Fleet-batched local updates: every device's header
+                # trains in one graph per round with a single fused
+                # fleet-optimizer step; importance sets come back
+                # bit-identical to the per-device rounds, and the wire
+                # messages are built per device in device order so the
+                # traffic ledger matches exactly.
+                sets = fleet.fleet_importance_rounds(
+                    self.devices[0].backbone,
+                    [d.header for d in self.devices],
+                    [d.dataset for d in self.devices],
+                    [d.importance_config for d in self.devices],
+                )
+                messages = [
+                    device.build_importance_message(
+                        q, include_feature_sample=include_features
+                    )
+                    for device, q in zip(self.devices, sets)
+                ]
+            else:
+                # The local importance rounds (header training + Taylor
+                # accumulation) are independent per device — fan out.  The
+                # network sends stay serial and in device order so the
+                # traffic ledger and message sequence match the serial run.
+                messages = parallel_map(
+                    lambda device: device.importance_round(
+                        include_feature_sample=include_features
+                    ),
+                    self.devices,
+                    max_workers=self.config.parallel_devices,
+                )
             for message in messages:
                 message.receiver = self.name
                 self.network.send(message)
@@ -249,21 +313,46 @@ class EdgeServer:
         if max_workers is EdgeServer._USE_CONFIG_WORKERS:
             max_workers = self.config.parallel_devices
         devices = self.devices
-        if (
-            self.config.batched_serving
-            and len(devices) > 1
-            and all(d.backbone is not None and d.header is not None for d in devices)
-            and serving.backbones_equivalent([d.backbone for d in devices])
-        ):
-            parallel_map(
-                lambda device: device.finetune(),
-                devices,
-                max_workers=max_workers,
+        cluster_ready = len(devices) > 1 and all(
+            d.backbone is not None and d.header is not None for d in devices
+        )
+        # One equivalence sweep feeds both the batched-serving and the
+        # fleet eligibility checks.
+        backbones_equal = cluster_ready and (
+            self.config.batched_serving or self.config.fleet_training
+        ) and serving.backbones_equivalent([d.backbone for d in devices])
+        fleet_ready = self._fleet_ready(backbones_equal=backbones_equal)
+
+        if fleet_ready:
+            # Fleet-batched fine-tuning: one graph + one fused step per
+            # round for the whole cluster, replacing the per-device
+            # thread fan-out (bit-identical traces).  Independent of
+            # ``batched_serving``, which only governs evaluation.
+            from repro.train import fleet
+
+            fleet.train_headers_fleet(
+                devices[0].backbone,
+                [d.header for d in devices],
+                [d.dataset for d in devices],
+                [d.finetune_config() for d in devices],
             )
+        if self.config.batched_serving and backbones_equal:
+            if not fleet_ready:
+                parallel_map(
+                    lambda device: device.finetune(),
+                    devices,
+                    max_workers=max_workers,
+                )
             return serving.batched_evaluate_headers(
                 devices[0].backbone,
                 [d.header for d in devices],
                 [d.eval_dataset() for d in devices],
+            )
+        if fleet_ready:
+            return parallel_map(
+                lambda device: device.evaluate(),
+                devices,
+                max_workers=max_workers,
             )
         return parallel_map(
             lambda device: device.finalize_round(),

@@ -92,6 +92,19 @@ class ACMEConfig:
     #: is capped so ``edges × devices`` stays within the host budget
     #: (:func:`repro.distributed.executor.split_worker_budget`).
     parallel_edges: WorkerSpec = None
+    #: Fleet-batched local training inside every edge cluster: the
+    #: aggregation loop's importance rounds and the finalize fine-tune
+    #: run as one computation graph per round with a single fused
+    #: fleet-optimizer step spanning all of a cluster's headers
+    #: (:mod:`repro.train.fleet`).  Bit-for-bit identical to the
+    #: per-device loops under float64 — accuracies, losses, importance
+    #: sets, and the full traffic ledger (tested in
+    #: tests/distributed/test_fleet_system.py).  Replaces the
+    #: ``parallel_devices`` fan-out for those phases inside each edge;
+    #: composes with ``parallel_edges`` (each worker runs its own
+    #: edge's fleet).  Ineligible clusters (stochastic models,
+    #: non-equivalent backbones) fall back per device automatically.
+    fleet_training: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -133,6 +146,8 @@ class ACMEConfig:
             self.edge.parallel_devices = device_spec
         if self.edge.nas is not None and self.edge.nas.parallel_workers is None:
             self.edge.nas.parallel_workers = device_spec
+        if self.fleet_training:
+            self.edge.fleet_training = True
 
 
 @dataclass

@@ -42,7 +42,7 @@ from repro.nn.layers import (
     has_active_stochastic_modules,
 )
 from repro.nn.lstm import LSTM, LSTMCell
-from repro.nn.optim import Adam, Optimizer, SGD, clip_grad_norm
+from repro.nn.optim import Adam, FleetOptimizer, Optimizer, SGD, clip_grad_norm
 from repro.nn.serialization import (
     array_nbytes,
     json_nbytes,

@@ -89,6 +89,71 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
     return Tensor._make(out_data, (logits,), backward)
 
 
+def fleet_cross_entropy(logits: Tensor, targets: np.ndarray, segments):
+    """Summed per-segment mean cross-entropy over one stacked tensor.
+
+    The fleet trainer (:mod:`repro.train.fleet`) stacks many devices'
+    batches row-wise into one ``(N, C)`` logits tensor; ``segments`` is
+    the list of ``(lo, hi)`` row ranges (one per device) partitioning
+    its rows.  Returns ``(total, losses)``: ``total`` is the *sum* of
+    the per-segment mean losses as a single tensor, ``losses`` each
+    segment's mean as a plain float (for per-member epoch records).
+    The log-softmax runs **once** over the stacked rows
+    (row-independent, so each row's value is bit-identical to computing
+    its segment alone).
+
+    Gradient contract — the per-device *block-diagonal row mask*:
+    backpropagating ``total`` writes the whole gradient in one
+    ``(N, C)`` pass, each segment's rows scaled by its own ``1/n_seg``
+    and untouched by every other segment's loss.  Per row it is
+    bit-for-bit the gradient
+    ``cross_entropy(logits[lo:hi], targets[lo:hi])`` would produce with
+    upstream gradient 1 — the serial per-member training step, which is
+    the invariant that makes fleet training reproduce the serial
+    per-device path exactly.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-D logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if targets.shape != (n,):
+        raise ValueError(f"targets shape {targets.shape} incompatible with logits {logits.shape}")
+
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - logsumexp
+    row_losses = -log_probs[np.arange(n), targets]
+
+    segments = [(int(lo), int(hi)) for lo, hi in segments]
+    expected = 0
+    losses: list = []
+    for lo, hi in segments:
+        if lo != expected or not lo < hi <= n:
+            raise ValueError(
+                f"segments must partition [0, {n}) contiguously; got ({lo}, {hi})"
+            )
+        expected = hi
+        losses.append(float(row_losses[lo:hi].mean()))
+    if expected != n:
+        raise ValueError(f"segments cover [0, {expected}) but logits have {n} rows")
+    # Summed exactly like chaining ``loss_0 + loss_1 + ...`` would.
+    acc = losses[0]
+    for value in losses[1:]:
+        acc = acc + value
+    total_value = np.asarray(acc)
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.exp(log_probs)
+        g[np.arange(n), targets] -= 1.0
+        upstream = np.asarray(grad)
+        for lo, hi in segments:
+            # Same scalar product as cross_entropy's ``g * (grad * scale)``.
+            g[lo:hi] *= upstream * (1.0 / (hi - lo))
+        logits._accumulate(g)
+
+    return Tensor._make(total_value, (logits,), backward), losses
+
+
 def mse_loss(prediction: Tensor, target: Tensor, reduction: str = "mean") -> Tensor:
     """Mean squared error; ``target`` may be a tensor or plain array."""
     target = target if isinstance(target, Tensor) else Tensor(target)

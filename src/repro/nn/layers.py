@@ -104,15 +104,24 @@ class Module:
         """Convert all parameters to ``dtype`` in place (grads are dropped).
 
         Use together with :func:`repro.nn.set_default_dtype` to move an
-        already-built model into the float32 compute mode.
+        already-built model into the float32 compute mode.  Any live
+        optimizer holding these parameters is notified so its fused flat
+        groups are rebuilt — and its state (moments/velocity) cast — in
+        the new dtype instead of silently stepping stale buffers.
         """
+        from repro.nn.optim import notify_params_rebound
         from repro.nn.tensor import _resolve_dtype
 
         resolved = np.dtype(_resolve_dtype(dtype))
+        converted = []
         for p in self.parameters():
             if p.data.dtype != resolved:
                 p.data = p.data.astype(resolved)
+                converted.append(p)
             p.grad = None
+            p._grad_buffer = None
+        if converted:
+            notify_params_rebound(converted, resolved)
         return self
 
     # -- (de)serialization ------------------------------------------------
@@ -134,10 +143,15 @@ class Module:
                     raise ValueError(
                         f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
                     )
-                # Cast to the parameter's dtype so loading a float64 state
-                # into a float32 model (or vice versa) never flips the
-                # model's compute precision mid-run.
-                param.data = value.astype(param.data.dtype, copy=True)
+                # Copy **in place** (casting to the parameter's dtype so a
+                # float64 checkpoint never flips a float32 model's compute
+                # precision).  Rebinding ``param.data`` here would detach
+                # the parameter from any fused optimizer's flat-buffer
+                # view — and from every other holder of the live array —
+                # until the next step's sync noticed; the in-place copy
+                # keeps the array identity stable, so checkpoint loads are
+                # visible immediately through every alias.
+                np.copyto(param.data, value, casting="unsafe")
 
     # -- call protocol ------------------------------------------------------
     def forward(self, *args, **kwargs):

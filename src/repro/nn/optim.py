@@ -36,11 +36,35 @@ allocated arrays.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import threading
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+#: Live optimizers, notified when a module rebinds parameter storage
+#: (``Module.astype``) so fused flat groups never step stale memory.
+_LIVE_OPTIMIZERS: "weakref.WeakSet" = weakref.WeakSet()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def notify_params_rebound(params: Sequence[Tensor], dtype) -> None:
+    """Tell live optimizers that ``params`` were rebound to new storage.
+
+    Called by ``Module.astype`` after converting parameter dtypes: every
+    optimizer holding any of these parameters rebuilds its flat groups
+    around the new arrays and casts its per-parameter state (moments /
+    velocity) to ``dtype`` — on both the fused and the reference path —
+    so subsequent steps update the live arrays instead of the detached
+    flat buffers, and never silently upcast the model back.
+    """
+    ids = {id(p) for p in params}
+    with _REGISTRY_LOCK:
+        live = list(_LIVE_OPTIMIZERS)
+    for optimizer in live:
+        optimizer._on_params_rebound(ids, np.dtype(dtype))
 
 
 class _FlatGroup:
@@ -103,8 +127,11 @@ class _FlatGroup:
             for k in range(num_state):
                 sview = self.flat_state[k][offset:end].reshape(shape)
                 carried = carry_state.get(id(p)) if carry_state else None
-                if carried is not None and carried[k].shape == shape and carried[k].dtype == dtype:
-                    np.copyto(sview, carried[k])
+                # Dtype may legitimately differ after ``Module.astype``:
+                # the moments follow the parameter into the new precision
+                # (copyto casts) instead of being silently zeroed.
+                if carried is not None and carried[k].shape == shape:
+                    np.copyto(sview, carried[k], casting="unsafe")
                 self.state_views[k].append(sview)
             for k in range(num_scratch):
                 self.scratch_views[k].append(
@@ -185,6 +212,8 @@ class Optimizer:
         self.fused = bool(fused)
         self.reuse_grad_buffers = bool(reuse_grad_buffers)
         self._flat_groups: Optional[List[_FlatGroup]] = None
+        with _REGISTRY_LOCK:
+            _LIVE_OPTIMIZERS.add(self)
 
     def zero_grad(self) -> None:
         keep = self.reuse_grad_buffers
@@ -207,6 +236,19 @@ class Optimizer:
             _FlatGroup(group_params, self._NUM_STATE, self._NUM_SCRATCH, carry_state=carry)
             for group_params in by_dtype.values()
         ]
+
+    def _on_params_rebound(self, ids: Set[int], dtype: np.dtype) -> None:
+        """React to ``Module.astype`` rebinding some of our parameters."""
+        if not any(id(p) in ids for p in self.params):
+            return
+        self._cast_reference_state(ids, dtype)
+        if self._flat_groups is not None:
+            # Rebuild around the new arrays; per-parameter state is
+            # carried (and cast) by ``_FlatGroup``'s carry path.
+            self._flat_groups = self._build_groups()
+
+    def _cast_reference_state(self, ids: Set[int], dtype: np.dtype) -> None:
+        """Cast the non-fused per-parameter state dicts (overridden)."""
 
     def _prepare_groups(self) -> List:
         """Lazily build, sync, and (at most once) rebuild the flat groups."""
@@ -240,6 +282,11 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self._NUM_STATE = 1 if momentum else 0
         self._velocity: Dict[int, np.ndarray] = {}
+
+    def _cast_reference_state(self, ids: Set[int], dtype: np.dtype) -> None:
+        for key, buf in list(self._velocity.items()):
+            if key in ids and buf.dtype != dtype:
+                self._velocity[key] = buf.astype(dtype)
 
     def step(self) -> None:
         if not self.fused:
@@ -295,6 +342,41 @@ class SGD(Optimizer):
             p.data = p.data - self.lr * grad
 
 
+def _adam_inplace_update(
+    data, grad, m, v, s1, s2, lr, beta1, beta2, eps, weight_decay, bias1, bias2
+) -> None:
+    """The fused in-place Adam update; exact reference operation order.
+
+    Only commutative operand swaps separate this from the reference
+    formula, so float64 results are bit-for-bit identical.  Shared by
+    :class:`Adam` (one pass per flat group / per parameter) and
+    :class:`FleetOptimizer` (one pass per fleet buffer / member slice) —
+    elementwise ufuncs make a pass over a concatenation equal, bit for
+    bit, to passes over its pieces.
+    """
+    if weight_decay:
+        np.multiply(data, weight_decay, out=s1)
+        s1 += grad
+        grad = s1
+    # m = b1 * m + (1 - b1) * grad
+    np.multiply(m, beta1, out=m)
+    np.multiply(grad, 1.0 - beta1, out=s2)
+    m += s2
+    # v = b2 * v + (1 - b2) * grad²
+    np.multiply(grad, grad, out=s2)
+    s2 *= 1.0 - beta2
+    np.multiply(v, beta2, out=v)
+    v += s2
+    # p -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
+    np.divide(v, bias2, out=s2)
+    np.sqrt(s2, out=s2)
+    s2 += eps
+    np.divide(m, bias1, out=s1)  # grad (possibly aliasing s1) is dead here
+    s1 *= lr
+    s1 /= s2
+    data -= s1
+
+
 class Adam(Optimizer):
     """Adam with bias correction (Kingma & Ba, 2015)."""
 
@@ -318,6 +400,12 @@ class Adam(Optimizer):
         self._m: Dict[int, np.ndarray] = {}
         self._v: Dict[int, np.ndarray] = {}
         self._t: int = 0
+
+    def _cast_reference_state(self, ids: Set[int], dtype: np.dtype) -> None:
+        for state in (self._m, self._v):
+            for key, buf in list(state.items()):
+                if key in ids and buf.dtype != dtype:
+                    state[key] = buf.astype(dtype)
 
     def step(self) -> None:
         if not self.fused:
@@ -354,33 +442,12 @@ class Adam(Optimizer):
                     )
 
     def _update(self, data, grad, m, v, s1, s2, bias1, bias2) -> None:
-        """One in-place Adam update; exact reference operation order.
-
-        Only commutative operand swaps separate this from the reference
-        formula, so float64 results are bit-for-bit identical.
-        """
-        b1, b2 = self.beta1, self.beta2
-        if self.weight_decay:
-            np.multiply(data, self.weight_decay, out=s1)
-            s1 += grad
-            grad = s1
-        # m = b1 * m + (1 - b1) * grad
-        np.multiply(m, b1, out=m)
-        np.multiply(grad, 1.0 - b1, out=s2)
-        m += s2
-        # v = b2 * v + (1 - b2) * grad²
-        np.multiply(grad, grad, out=s2)
-        s2 *= 1.0 - b2
-        np.multiply(v, b2, out=v)
-        v += s2
-        # p -= lr * (m / bias1) / (sqrt(v / bias2) + eps)
-        np.divide(v, bias2, out=s2)
-        np.sqrt(s2, out=s2)
-        s2 += self.eps
-        np.divide(m, bias1, out=s1)  # grad (possibly aliasing s1) is dead here
-        s1 *= self.lr
-        s1 /= s2
-        data -= s1
+        """One in-place Adam update; exact reference operation order."""
+        _adam_inplace_update(
+            data, grad, m, v, s1, s2,
+            self.lr, self.beta1, self.beta2, self.eps, self.weight_decay,
+            bias1, bias2,
+        )
 
     def _step_reference(self) -> None:
         """The original allocating update (kept for bit-for-bit parity)."""
@@ -404,6 +471,273 @@ class Adam(Optimizer):
             self._m[id(p)] = m
             self._v[id(p)] = v
             p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+class _FleetSegment:
+    """One member's contiguous span inside a fleet flat group."""
+
+    __slots__ = ("member", "param_lo", "param_hi", "lo", "hi")
+
+    def __init__(self, member: int, param_lo: int, param_hi: int, lo: int, hi: int) -> None:
+        self.member = member
+        self.param_lo = param_lo
+        self.param_hi = param_hi
+        self.lo = lo
+        self.hi = hi
+
+
+class FleetOptimizer:
+    """Fused Adam over a whole fleet of independent parameter sets.
+
+    Where :class:`Adam` flattens *one* model's parameters, the fleet
+    optimizer flattens the parameters of **many members** (e.g. every
+    device header in an edge cluster) into one contiguous buffer per
+    dtype, laid out member-major so each member owns a contiguous slice.
+    A training round in which every member steps is then a *single*
+    fused pass over the whole fleet — ~14 ``out=``-ufunc calls total,
+    regardless of how many members (and how many small tensors each)
+    participate — instead of one fused step per member.
+
+    Semantics are exactly "one fused :class:`Adam` per member":
+
+    * independent step counters per member (bias correction follows each
+      member's own step count, so members may join/leave rounds freely —
+      heterogeneous dataset sizes, empty devices);
+    * independent learning rates per member (``lr`` may be a sequence);
+    * the per-element update is :func:`_adam_inplace_update`, the same
+      operation sequence :class:`Adam` runs — and elementwise ufuncs
+      over a concatenation equal the per-slice passes bit for bit — so
+      float64 fleet training traces are **bit-for-bit identical** to the
+      serial per-member path (asserted in ``tests/train/test_fleet.py``).
+
+    Rounds where only some members step (or some parameters lack
+    gradients) fall back to per-member slice passes / per-parameter
+    updates over the same flat state, mirroring ``Adam``'s partial path.
+    """
+
+    def __init__(
+        self,
+        member_params: Sequence[Sequence[Tensor]],
+        lr=1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        reuse_grad_buffers: bool = True,
+    ) -> None:
+        self.members: List[List[Tensor]] = []
+        seen_ids: Set[int] = set()
+        for params in member_params:
+            member: List[Tensor] = []
+            local: Set[int] = set()
+            for p in params:
+                if id(p) in local:
+                    continue  # dedup within a member, like Optimizer
+                if id(p) in seen_ids:
+                    raise ValueError(
+                        "FleetOptimizer members must not share parameters: "
+                        "a shared tensor cannot occupy two flat slices "
+                        "(and per-member optimizers would double-step it)"
+                    )
+                local.add(id(p))
+                member.append(p)
+            seen_ids.update(local)
+            self.members.append(member)
+        if not self.members or not any(self.members):
+            raise ValueError("FleetOptimizer received no parameters")
+        num = len(self.members)
+        lrs = [float(lr)] * num if np.isscalar(lr) else [float(v) for v in lr]
+        if len(lrs) != num:
+            raise ValueError(f"{len(lrs)} learning rates for {num} members")
+        if any(v <= 0 for v in lrs):
+            raise ValueError("learning rates must be positive")
+        self.lrs = lrs
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.reuse_grad_buffers = bool(reuse_grad_buffers)
+        self._t: List[int] = [0] * num
+        self._groups: Optional[List[_FlatGroup]] = None
+        self._segments: List[List[_FleetSegment]] = []
+        with _REGISTRY_LOCK:
+            _LIVE_OPTIMIZERS.add(self)
+
+    # -- plumbing -------------------------------------------------------
+    @property
+    def params(self) -> List[Tensor]:
+        return [p for member in self.members for p in member]
+
+    def member_parameters(self, member: int) -> List[Tensor]:
+        return list(self.members[member])
+
+    def step_count(self, member: int) -> int:
+        return self._t[member]
+
+    def zero_grad(self, active: Optional[Sequence[int]] = None) -> None:
+        members = self.members if active is None else [self.members[m] for m in active]
+        keep = self.reuse_grad_buffers
+        for member in members:
+            for p in member:
+                p.zero_grad(keep_buffer=keep)
+
+    def _on_params_rebound(self, ids: Set[int], dtype: np.dtype) -> None:
+        if self._groups is not None and any(id(p) in ids for p in self.params):
+            self._build_groups()
+
+    def _build_groups(self) -> None:
+        carry: Dict[int, List[np.ndarray]] = {}
+        if self._groups is not None:
+            for group in self._groups:
+                carry.update(group.carried_state())
+        by_dtype: "Dict[np.dtype, List[Tensor]]" = {}
+        spans: "Dict[np.dtype, List[Tuple[int, int, int]]]" = {}
+        for m, member in enumerate(self.members):
+            for p in member:
+                bucket = by_dtype.setdefault(p.data.dtype, [])
+                spans.setdefault(p.data.dtype, [])
+                span = spans[p.data.dtype]
+                if span and span[-1][0] == m:
+                    span[-1] = (m, span[-1][1], len(bucket) + 1)
+                else:
+                    span.append((m, len(bucket), len(bucket) + 1))
+                bucket.append(p)
+        self._groups = []
+        self._segments = []
+        for dt, group_params in by_dtype.items():
+            group = _FlatGroup(group_params, num_state=2, num_scratch=2, carry_state=carry)
+            offsets = np.concatenate(
+                ([0], np.cumsum([p.size for p in group_params], dtype=np.int64))
+            )
+            segs = [
+                _FleetSegment(m, lo, hi, int(offsets[lo]), int(offsets[hi]))
+                for (m, lo, hi) in spans[dt]
+            ]
+            self._groups.append(group)
+            self._segments.append(segs)
+
+    def _sync_member(self, group: _FlatGroup, seg: _FleetSegment) -> str:
+        """Per-member :meth:`_FlatGroup.sync`, scoped to the segment."""
+        status = "flat"
+        for i in range(seg.param_lo, seg.param_hi):
+            p = group.params[i]
+            dview = group.data_views[i]
+            gview = group.grad_views[i]
+            if p.data is not dview:
+                if p.data.shape != dview.shape or p.data.dtype != dview.dtype:
+                    return "rebuild"
+                np.copyto(dview, p.data)
+                p.data = dview
+            grad = p.grad
+            if grad is None:
+                status = "partial"
+                continue
+            if grad is not gview:
+                if grad.shape != gview.shape or grad.dtype != gview.dtype:
+                    status = "partial"
+                    continue
+                np.copyto(gview, grad)
+                p.grad = gview
+                p._grad_buffer = gview
+        return status
+
+    # -- the step -------------------------------------------------------
+    def step(self, active: Optional[Sequence[int]] = None) -> None:
+        """Advance every member in ``active`` (default: all) by one step."""
+        members = range(len(self.members)) if active is None else list(active)
+        active_set = set(members)
+        for m in members:
+            self._t[m] += 1
+        if self._groups is None:
+            self._build_groups()
+        for attempt in range(2):
+            statuses: List[List[str]] = []
+            rebuild = False
+            for group, segs in zip(self._groups, self._segments):
+                group_status = [
+                    self._sync_member(group, seg) if seg.member in active_set else "skip"
+                    for seg in segs
+                ]
+                if "rebuild" in group_status:
+                    rebuild = True
+                    break
+                statuses.append(group_status)
+            if not rebuild:
+                break
+            self._build_groups()
+        else:  # pragma: no cover - second rebuild cannot miss
+            raise RuntimeError("fleet flat groups failed to stabilize")
+
+        for group, segs, group_status in zip(self._groups, self._segments, statuses):
+            self._step_group(group, segs, group_status, active_set)
+
+    def _step_group(
+        self,
+        group: _FlatGroup,
+        segs: List[_FleetSegment],
+        status: List[str],
+        active_set: Set[int],
+    ) -> None:
+        active_segs = [s for s in segs if s.member in active_set]
+        if not active_segs:
+            return
+        ts = {self._t[s.member] for s in active_segs}
+        lrs = {self.lrs[s.member] for s in active_segs}
+        if (
+            len(active_segs) == len(segs)
+            and all(st == "flat" for st in status if st != "skip")
+            and len(ts) == 1
+            and len(lrs) == 1
+        ):
+            # Whole-fleet fast path: one fused pass over the buffers.
+            t = ts.pop()
+            _adam_inplace_update(
+                group.flat_data,
+                group.flat_grad,
+                group.flat_state[0],
+                group.flat_state[1],
+                group.flat_scratch[0],
+                group.flat_scratch[1],
+                lrs.pop(),
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+                1.0 - self.beta1**t,
+                1.0 - self.beta2**t,
+            )
+            return
+        for seg, st in zip(segs, status):
+            if st == "skip":
+                continue
+            t = self._t[seg.member]
+            lr = self.lrs[seg.member]
+            bias1 = 1.0 - self.beta1**t
+            bias2 = 1.0 - self.beta2**t
+            if st == "flat":
+                _adam_inplace_update(
+                    group.flat_data[seg.lo : seg.hi],
+                    group.flat_grad[seg.lo : seg.hi],
+                    group.flat_state[0][seg.lo : seg.hi],
+                    group.flat_state[1][seg.lo : seg.hi],
+                    group.flat_scratch[0][seg.lo : seg.hi],
+                    group.flat_scratch[1][seg.lo : seg.hi],
+                    lr, self.beta1, self.beta2, self.eps, self.weight_decay,
+                    bias1, bias2,
+                )
+                continue
+            for i in range(seg.param_lo, seg.param_hi):
+                p = group.params[i]
+                if p.grad is None:
+                    continue
+                _adam_inplace_update(
+                    group.data_views[i],
+                    p.grad,
+                    group.state_views[0][i],
+                    group.state_views[1][i],
+                    group.scratch_views[0][i],
+                    group.scratch_views[1][i],
+                    lr, self.beta1, self.beta2, self.eps, self.weight_decay,
+                    bias1, bias2,
+                )
 
 
 def clip_grad_norm(

@@ -18,15 +18,27 @@ import numpy as np
 from repro.nn.layers import Module
 
 
+def _npz_path(path: Union[str, Path]) -> Path:
+    """The filename ``np.savez`` actually writes for ``path``.
+
+    ``np.savez`` appends ``.npz`` to any filename not already ending in
+    it, while ``np.load`` opens the literal path — so an extensionless
+    ``save_state``/``load_state`` round-trip used to miss the file.
+    Normalizing both sides through this helper keeps them in agreement.
+    """
+    path = Path(path)
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+
+
 def save_state(module: Module, path: Union[str, Path]) -> None:
     """Serialize a module's parameters to an ``.npz`` archive."""
     state = module.state_dict()
-    np.savez(Path(path), **state)
+    np.savez(_npz_path(path), **state)
 
 
 def load_state(module: Module, path: Union[str, Path]) -> None:
     """Load parameters saved by :func:`save_state` into ``module``."""
-    with np.load(Path(path)) as archive:
+    with np.load(_npz_path(path)) as archive:
         state = {name: archive[name] for name in archive.files}
     module.load_state_dict(state)
 

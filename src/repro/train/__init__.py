@@ -1,6 +1,11 @@
 """Training, evaluation, and batched serving loops."""
 
 from repro.train.evaluate import evaluate_header, evaluate_model
+from repro.train.fleet import (
+    fleet_importance_rounds,
+    fleet_supported,
+    train_headers_fleet,
+)
 from repro.train.serving import (
     backbones_equivalent,
     batched_evaluate_headers,
@@ -20,6 +25,9 @@ __all__ = [
     "precompute_backbone_features",
     "evaluate_header",
     "evaluate_model",
+    "fleet_importance_rounds",
+    "fleet_supported",
     "train_header",
+    "train_headers_fleet",
     "train_model",
 ]

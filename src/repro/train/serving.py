@@ -213,6 +213,9 @@ def batched_evaluate_headers(
                 dataset,
                 batch_size=batch_size,
                 shuffle=False,
+                # Deliberate fixed literal (not the set_seed fallback stream):
+                # shuffle=False never draws from it, and a pinned rng keeps the
+                # loader deterministic if that default ever changes.
                 rng=np.random.default_rng(0),
             )
         )

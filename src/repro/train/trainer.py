@@ -39,6 +39,13 @@ class TrainConfig:
     #: stochastic backbones (training-mode dropout).  ``False`` restores
     #: the per-batch forwards of the seed path.
     cached_frozen_features: bool = True
+    #: Per-member opt-out for fleet batching: callers that train many
+    #: headers over one shared frozen backbone (``EdgeServer`` with
+    #: ``fleet_training``, :func:`repro.train.fleet.train_headers_fleet`)
+    #: stack this member into the one-graph-per-round fleet only when
+    #: True.  Bit-for-bit identical either way; ``False`` forces the
+    #: serial per-device loop (e.g. for A/B benchmarking).
+    fleet_training: bool = True
     seed: int = 0
 
 
@@ -135,6 +142,7 @@ def train_header(
         freeze_backbone
         and config.cached_frozen_features
         and config.max_batches_per_epoch is None
+        and len(dataset) > 0  # nothing to precompute (or train on)
         and not has_active_stochastic_modules(backbone)
     )
     cached_features = (

@@ -120,6 +120,36 @@ class TestDataLoader:
         assert not np.array_equal(ordered, shuffled)
         np.testing.assert_array_equal(np.sort(ordered), np.sort(shuffled))
 
+    def test_unseeded_loader_respects_set_seed(self):
+        """The rng fallback draws from the shared ``repro.nn.init`` stream
+        (like every unseeded module since PR 2), so ``set_seed`` makes
+        unseeded shuffling loaders reproducible — they no longer all
+        replay the identical ``default_rng(0)`` order."""
+        from repro.nn import init
+
+        ds = make_dataset(32)
+
+        def order():
+            return [l.copy() for _, l in DataLoader(ds, 8)]
+
+        init.set_seed(123)
+        a = order()
+        init.set_seed(123)
+        b = order()
+        init.set_seed(321)
+        c = order()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+        assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+
+    def test_unseeded_loaders_differ_from_each_other(self):
+        """Two unseeded loaders built back to back draw different epochs
+        (previously both restarted ``default_rng(0)``)."""
+        ds = make_dataset(64)
+        a = [l for _, l in DataLoader(ds, 64)][0]
+        b = [l for _, l in DataLoader(ds, 64)][0]
+        assert not np.array_equal(a, b)
+
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(make_dataset(), batch_size=0)

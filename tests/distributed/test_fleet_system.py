@@ -1,0 +1,144 @@
+"""``ACMEConfig.fleet_training`` reproduces the per-device run exactly.
+
+With fleet training on, every edge cluster's local updates — the
+aggregation loop's importance rounds and the finalize fine-tune — run as
+one computation graph per round with a single fused fleet-optimizer step
+(:mod:`repro.train.fleet`).  The float64 contract mirrors PR 2-4:
+accuracies, losses, the message-kind sequence and the full traffic
+ledger must be **bit-for-bit identical** to the serial per-device run,
+alone and composed with ``parallel_edges``/``parallel_devices``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ACMEConfig, ACMESystem
+from repro.distributed.edge import EdgeConfig
+
+
+def _config(**overrides) -> ACMEConfig:
+    base = dict(
+        num_clusters=2,
+        devices_per_cluster=3,
+        num_classes=6,
+        samples_per_class=18,
+        compute_dtype="float64",
+        seed=0,
+    )
+    base.update(overrides)
+    return ACMEConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def serial_and_fleet_runs():
+    from tests.helpers import reset_engine_state
+
+    reset_engine_state()
+    serial = ACMESystem(_config()).run()
+    fleet = ACMESystem(_config(fleet_training=True)).run()
+    return serial, fleet
+
+
+class TestFleetSystemParity:
+    def test_accuracies_and_losses_bit_for_bit(self, serial_and_fleet_runs):
+        serial, fleet = serial_and_fleet_runs
+        for cs, cf in zip(serial.clusters, fleet.clusters):
+            assert cs.edge_name == cf.edge_name
+            assert cs.device_accuracies == cf.device_accuracies
+            assert cs.device_losses == cf.device_losses
+            assert (cs.width, cs.depth) == (cf.width, cf.depth)
+
+    def test_message_sequence_identical(self, serial_and_fleet_runs):
+        serial, fleet = serial_and_fleet_runs
+        assert serial.message_kinds == fleet.message_kinds
+        assert serial.edge_message_kinds == fleet.edge_message_kinds
+
+    def test_traffic_ledger_identical(self, serial_and_fleet_runs):
+        serial, fleet = serial_and_fleet_runs
+        s, f = serial.traffic, fleet.traffic
+        assert s.total_bytes == f.total_bytes
+        assert s.upload_bytes == f.upload_bytes
+        assert s.download_bytes == f.download_bytes
+        assert s.message_count == f.message_count
+        assert dict(s.by_kind) == dict(f.by_kind)
+        assert dict(s.by_pair) == dict(f.by_pair)
+
+    def test_composes_with_parallel_edges(self, serial_and_fleet_runs):
+        """Fleet batching inside each edge + whole-edge fan-out across
+        workers: still bit-identical, ledger included."""
+        serial, _fleet = serial_and_fleet_runs
+        nested = ACMESystem(_config(fleet_training=True, parallel_edges=2)).run()
+        assert [c.device_accuracies for c in serial.clusters] == [
+            c.device_accuracies for c in nested.clusters
+        ]
+        assert [c.device_losses for c in serial.clusters] == [
+            c.device_losses for c in nested.clusters
+        ]
+        assert serial.message_kinds == nested.message_kinds
+        assert dict(serial.traffic.by_pair) == dict(nested.traffic.by_pair)
+        assert serial.traffic.total_bytes == nested.traffic.total_bytes
+
+    def test_composes_with_parallel_devices(self, serial_and_fleet_runs):
+        """parallel_devices still drives the phases fleet does not claim
+        (similarity feature extraction, NAS scoring); results match."""
+        serial, _fleet = serial_and_fleet_runs
+        combined = ACMESystem(_config(fleet_training=True, parallel_devices=2)).run()
+        assert [c.device_accuracies for c in serial.clusters] == [
+            c.device_accuracies for c in combined.clusters
+        ]
+        assert serial.message_kinds == combined.message_kinds
+
+
+class TestFleetWiring:
+    def test_config_propagates_to_edge(self):
+        config = _config(fleet_training=True)
+        assert config.edge.fleet_training is True
+        assert _config().edge.fleet_training is False
+
+    def test_explicit_edge_config_respected(self):
+        edge = EdgeConfig(fleet_training=True, seed=0)
+        config = _config(edge=edge)
+        assert config.edge.fleet_training is True
+
+    def test_fleet_ready_requires_distributed_models(self):
+        system = ACMESystem(_config(fleet_training=True))
+        edge = system.edges[0]
+        # Before model distribution no device holds a backbone/header.
+        assert not edge._fleet_ready()
+
+    def test_fleet_ready_rejects_heterogeneous_backbones(self):
+        system = ACMESystem(_config(fleet_training=True))
+        system.run_cloud_phases()
+        edge = system.edges[0]
+        edge.request_backbone()
+        edge.search_header()
+        edge.distribute_models()
+        assert edge._fleet_ready()
+        # Perturb one device's backbone: the cluster no longer shares
+        # value-identical weights, so fleet batching must stand down.
+        device = edge.devices[0]
+        param = device.backbone.parameters()[0]
+        param.data[...] = param.data + 1.0
+        assert not edge._fleet_ready()
+
+    def test_fleet_without_batched_serving(self, serial_and_fleet_runs):
+        """fleet_training governs the fine-tune independently of
+        batched_serving (which only governs evaluation): the combination
+        still reproduces the serial run bit for bit."""
+        serial, _fleet = serial_and_fleet_runs
+        config = _config(fleet_training=True)
+        config.edge.batched_serving = False
+        combined = ACMESystem(config).run()
+        assert [c.device_accuracies for c in serial.clusters] == [
+            c.device_accuracies for c in combined.clusters
+        ]
+        assert [c.device_losses for c in serial.clusters] == [
+            c.device_losses for c in combined.clusters
+        ]
+
+    def test_cli_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "--fleet"])
+        assert args.fleet is True
+        assert build_parser().parse_args(["run"]).fleet is False

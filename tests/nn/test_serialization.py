@@ -39,6 +39,35 @@ class TestSaveLoad:
         x = Tensor(np.ones((1, 4)))
         np.testing.assert_allclose(a(x).data, b(x).data)
 
+    def test_roundtrip_extensionless_path(self, tmp_path):
+        """``np.savez`` appends ``.npz`` to what it writes; the loader
+        used to look for the literal path and miss the file."""
+        a = Linear(6, 4, rng=np.random.default_rng(1))
+        b = Linear(6, 4, rng=np.random.default_rng(2))
+        path = tmp_path / "checkpoint"  # no extension
+        save_state(a, path)
+        assert (tmp_path / "checkpoint.npz").exists()
+        load_state(b, path)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+    def test_roundtrip_foreign_extension(self, tmp_path):
+        """A non-``.npz`` suffix gets ``.npz`` appended, matching numpy."""
+        a = Linear(3, 2, rng=np.random.default_rng(1))
+        b = Linear(3, 2, rng=np.random.default_rng(2))
+        path = tmp_path / "model.ckpt"
+        save_state(a, path)
+        assert (tmp_path / "model.ckpt.npz").exists()
+        load_state(b, path)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_roundtrip_string_path(self, tmp_path):
+        a = Linear(3, 2, rng=np.random.default_rng(1))
+        b = Linear(3, 2, rng=np.random.default_rng(2))
+        save_state(a, str(tmp_path / "weights"))
+        load_state(b, str(tmp_path / "weights"))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
     def test_load_shape_mismatch(self, tmp_path):
         a = Linear(4, 4)
         b = Linear(4, 5)
