@@ -37,8 +37,20 @@ def load_trajectory(path: Path = DEFAULT_TRAJECTORY) -> Dict[str, object]:
     return data
 
 
+def _best_s(record: Dict[str, object], side: str) -> object:
+    timing = record.get(side)
+    if isinstance(timing, dict):
+        return timing.get("best_s")
+    return None
+
+
 def check_floors(path: Path = DEFAULT_TRAJECTORY) -> List[str]:
-    """Return one failure message per record whose floor does not hold."""
+    """Return one failure message per record whose floor does not hold.
+
+    Each message carries the measured values (speedup, floor, and the
+    fast/baseline best times) so a CI failure is diagnosable from the
+    log alone.
+    """
     data = load_trajectory(path)
     failures: List[str] = []
     for record in data["results"]:
@@ -49,25 +61,68 @@ def check_floors(path: Path = DEFAULT_TRAJECTORY) -> List[str]:
             failures.append(f"{label}: missing/invalid speedup {speedup!r}")
             continue
         if floor is not None and speedup < floor:
+            fast, base = _best_s(record, "fast"), _best_s(record, "baseline")
+            timing = ""
+            if isinstance(fast, (int, float)) and isinstance(base, (int, float)):
+                timing = f" (fast best {fast:.4g}s vs baseline best {base:.4g}s)"
             failures.append(
                 f"{label}: recorded speedup {speedup:.2f}x is below the "
-                f"{floor:.1f}x floor"
+                f"{floor:.2f}x floor{timing} — from bench "
+                f"{record.get('bench', '<unknown>')!r}"
             )
     return failures
+
+
+def summary_table(data: Dict[str, object]) -> List[str]:
+    """Human-readable status table: one row per record, floors annotated."""
+    rows = []
+    for record in data["results"]:
+        floor = record.get("floor")
+        speedup = record.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            status, speed_txt = "INVALID", repr(speedup)
+        else:
+            speed_txt = f"{speedup:.2f}x"
+            if floor is None:
+                status = "-"
+            else:
+                status = "ok" if speedup >= floor else "FAIL"
+        rows.append(
+            (
+                str(record.get("label", "<unlabeled>")),
+                speed_txt,
+                "-" if floor is None else f"{floor:.2f}x",
+                status,
+            )
+        )
+    headers = ("record", "speedup", "floor", "status")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(4)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend("  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows)
+    return lines
 
 
 def main(argv: List[str]) -> int:
     path = Path(argv[1]) if len(argv) > 1 else DEFAULT_TRAJECTORY
     try:
+        data = load_trajectory(path)
         failures = check_floors(path)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"perf floor check errored: {exc}")
         return 1
-    data = load_trajectory(path)
+    for line in summary_table(data):
+        print(line)
     floored = [r for r in data["results"] if r.get("floor") is not None]
     if failures:
         for failure in failures:
             print(f"FAIL {failure}")
+        print(f"{len(failures)} of {len(floored)} floored record(s) FAILED in {path}")
         return 1
     print(
         f"ok: {len(floored)} floored record(s) "

@@ -20,8 +20,9 @@ from typing import List, Optional
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.distributed import ACMEConfig, ACMESystem
+    from repro.distributed import ACMEConfig, ACMESystem, FaultConfig
 
+    fault_config = FaultConfig.parse(args.faults) if args.faults else None
     config = ACMEConfig(
         num_clusters=args.clusters,
         devices_per_cluster=args.devices,
@@ -30,8 +31,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         parallel_devices=args.workers,
         parallel_edges=args.edge_workers,
         fleet_training=args.fleet,
+        fault_config=fault_config,
         seed=args.seed,
     )
+    if args.quorum is not None:
+        config.edge.round_quorum = args.quorum
     system = ACMESystem(config)
     result = system.run()
     payload = {
@@ -45,9 +49,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "width": c.width,
                 "depth": c.depth,
                 "device_accuracies": c.device_accuracies,
+                "round_participation": c.round_participation,
+                "protocol_retries": c.protocol_retries,
             }
             for c in result.clusters
         ],
+        "participation": result.participation,
+        "fault_counts": result.fault_counts,
+        "total_retries": result.total_retries,
+        "failed_deliveries": result.failed_deliveries,
     }
     print(json.dumps(payload, indent=2))
     return 0
@@ -124,6 +134,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet-batch each cluster's local training: one computation "
         "graph and one fused optimizer step per round for all of an "
         "edge's headers; reproduces the per-device results exactly",
+    )
+    run.add_argument(
+        "--faults",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="seeded chaos campaign as k=v pairs, e.g. "
+        "'seed=7,drop=0.15,churn=0.05,dead=2|5' (keys: seed, drop, "
+        "corrupt, duplicate, delay, churn, retries, backoff, "
+        "delay_deliveries, dead).  The same spec replays the identical "
+        "fault log, ledger and results",
+    )
+    run.add_argument(
+        "--quorum",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fraction of each round's participating devices whose fresh "
+        "importance sets must arrive before the round aggregates "
+        "(default 1.0 = require every reply); below it, rounds degrade "
+        "to whoever answered plus carried-forward sets",
     )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)

@@ -83,6 +83,55 @@ def aggregate_importance_sets(
     return [weights[i] @ stacked for i in range(n)]
 
 
+def aggregate_importance_subset(
+    importance_sets: Sequence[np.ndarray],
+    weights: np.ndarray,
+    rows: Sequence[int],
+    cols: Sequence[int],
+) -> List[np.ndarray]:
+    """Eq. (21) restricted to the cluster members present this round.
+
+    Degraded-mode aggregation: ``cols`` are the full-cluster indices
+    whose sets are available (``importance_sets``, in the same order)
+    and ``rows`` the indices to produce personalized sets for.  Each
+    row of the full ``(n, n)`` weight matrix is masked to the present
+    columns and renormalized, so every ``Q'_n`` stays a convex
+    combination — of whoever showed up.  A row with no weight on any
+    present member falls back to uniform weights over them.
+
+    With every member present this reduces to
+    :func:`aggregate_importance_sets` exactly (the mask keeps all
+    columns and the renormalization divides by 1); callers on the
+    fault-free path still use the full function so its validation —
+    and its bit-for-bit arithmetic — is untouched.
+    """
+    if len(cols) != len(importance_sets):
+        raise ValueError(
+            f"{len(importance_sets)} importance sets for {len(cols)} present members"
+        )
+    if not importance_sets:
+        raise ValueError("cannot aggregate an empty round: no member present")
+    sets = [np.asarray(q, dtype=np.float64) for q in importance_sets]
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.shape[0]
+    if weights.shape != (n, n):
+        raise ValueError(f"weights must be square, got {weights.shape}")
+    if not np.allclose(weights.sum(axis=1), 1.0, atol=1e-6):
+        raise ValueError("weight rows must sum to 1 (convex combination)")
+    col_index = np.asarray(cols, dtype=int)
+    stacked = np.stack(sets)  # (len(cols), R)
+    out = []
+    for i in rows:
+        w = weights[i, col_index]
+        total = w.sum()
+        if total <= 0.0:
+            w = np.full(len(sets), 1.0 / len(sets))
+        else:
+            w = w / total
+        out.append(w @ stacked)
+    return out
+
+
 @dataclass
 class AggregationRoundRecord:
     """Telemetry of one Algorithm 2 round."""

@@ -10,6 +10,14 @@ from repro.distributed.executor import (
     resolve_workers,
     split_worker_budget,
 )
+from repro.distributed.faults import (
+    DeliveryError,
+    FaultConfig,
+    FaultDecision,
+    FaultPolicy,
+    FaultRecord,
+    ProtocolError,
+)
 from repro.distributed.messages import Message, MessageKind, payload_nbytes
 from repro.distributed.metrics import (
     NormalizedTradeoff,
@@ -34,14 +42,20 @@ __all__ = [
     "CloudConfig",
     "CloudServer",
     "ClusterResult",
+    "DeliveryError",
     "DeviceNode",
     "EdgeConfig",
     "EdgeServer",
+    "FaultConfig",
+    "FaultDecision",
+    "FaultPolicy",
+    "FaultRecord",
     "Message",
     "MessageKind",
     "Network",
     "NetworkShard",
     "NormalizedTradeoff",
+    "ProtocolError",
     "TrafficStats",
     "WorkerSpec",
     "centralized_upload_bytes",

@@ -54,7 +54,32 @@ class DeviceNode:
         self.backbone: Optional[VisionTransformer] = None
         self.header: Optional[DAGHeader] = None
         self.keep_fraction: float = 0.7
+        #: Churn state: an inactive device is unregistered from the
+        #: fabric (sends to it raise ``KeyError``) and sits out protocol
+        #: rounds until :meth:`reactivate` re-registers it.
+        self.active = True
         network.register(self.name, self.handle)
+
+    # ------------------------------------------------------------------
+    def deactivate(self) -> None:
+        """Leave the fabric (device churned off / crashed / went dark).
+
+        Idempotent: deactivating an already-inactive device is a no-op,
+        so a churn schedule can re-assert the state every round.
+        """
+        if self.active:
+            self.network.unregister(self.name)
+            self.active = False
+
+    def reactivate(self) -> None:
+        """Rejoin the fabric under the same name (lazy re-registration).
+
+        The device keeps whatever model state it had when it left; the
+        edge's carry-forward store bridges the rounds it missed.
+        """
+        if not self.active:
+            self.network.register(self.name, self.handle)
+            self.active = True
 
     # ------------------------------------------------------------------
     def handle(self, message: Message) -> Optional[Message]:

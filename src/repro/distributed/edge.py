@@ -13,12 +13,17 @@ An edge server ``s`` manages a device cluster N_s and a shared dataset
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.aggregation import aggregate_importance_sets
+from repro.core.aggregation import (
+    aggregate_importance_sets,
+    aggregate_importance_subset,
+)
 from repro.core.nas import HeaderSearch, NASConfig
 from repro.core.similarity import (
     distance_matrix,
@@ -28,6 +33,7 @@ from repro.core.similarity import (
 from repro.data.dataset import ArrayDataset
 from repro.distributed.device import DeviceNode
 from repro.distributed.executor import WorkerSpec, parallel_map
+from repro.distributed.faults import DeliveryError, FaultPolicy, ProtocolError
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
 from repro.hw.profiles import cluster_statistics
@@ -70,6 +76,26 @@ class EdgeConfig:
     #: threads would); eligibility falls back to the per-device path for
     #: stochastic models or heterogeneous backbones.
     fleet_training: bool = False
+    #: Degraded-mode quorum: the fraction of a round's *participating*
+    #: devices whose fresh importance sets must arrive before the round
+    #: aggregates.  1.0 (the default) is today's all-replies behavior —
+    #: on a fault-free fabric the loop is bit-identical to the
+    #: pre-quorum code, and a missing reply is a loud
+    #: :class:`~repro.distributed.faults.ProtocolError`.  Below 1.0 the
+    #: round proceeds with whoever answered: re-request up to
+    #: ``round_retries`` times, then aggregate the fresh sets (masked,
+    #: renormalized similarity rows), carrying forward each absent
+    #: device's last known set only when even the quorum cannot be met.
+    round_quorum: float = 1.0
+    #: Round-level re-request budget when fresh replies are short of
+    #: quorum.  Retries re-send each missing device's *cached* upload —
+    #: the device does not retrain — mirroring a real edge's timeout →
+    #: re-poll loop.  Message-level retries are separate (the fault
+    #: policy's ``retries``).
+    round_retries: int = 2
+    #: Seconds of linear backoff between round-level retries (scaled by
+    #: the retry index).  Keep 0.0 in tests — the fabric is instant.
+    retry_backoff: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -104,6 +130,19 @@ class EdgeServer:
         self.similarity: Optional[np.ndarray] = None
         self._pending_importance: Dict[int, np.ndarray] = {}
         self._feature_samples: Dict[int, np.ndarray] = {}
+        #: Carry-forward store: each device's last importance set that
+        #: actually arrived, keyed by device id.  Below-quorum rounds
+        #: aggregate absent devices from here instead of stalling.
+        self._carried: Dict[int, np.ndarray] = {}
+        #: True while ``similarity`` was computed from an incomplete set
+        #: of feature samples (some devices' uploads never arrived); the
+        #: edge keeps requesting samples and recomputes until complete.
+        self._similarity_partial = False
+        #: Robustness telemetry for :class:`ClusterResult`: the fraction
+        #: of the cluster that contributed a fresh set each round, and
+        #: protocol-level (round/exchange) retry count.
+        self.round_participation: List[float] = []
+        self.round_retry_total = 0
         network.register(self.name, self.handle)
 
     # ------------------------------------------------------------------
@@ -138,13 +177,37 @@ class EdgeServer:
     # Phase 1: cloud ↔ edge
     # ------------------------------------------------------------------
     def request_backbone(self) -> None:
-        """Upload cluster statistics; the cloud replies with a backbone."""
+        """Upload cluster statistics; the cloud replies with a backbone.
+
+        The assignment rides a nested send subject to its own fault
+        draws, so a cleanly delivered upload can still leave the edge
+        unassigned — retry the whole exchange (the cloud's request path
+        is idempotent) up to the policy's retry budget before failing
+        loudly.  Without a policy this is a single plain send.
+        """
+        policy = self.network.fault_policy
         stats = cluster_statistics([d.profile for d in self.devices])
-        self.network.send(
-            Message(self.name, self.cloud_name, MessageKind.CLUSTER_STATS, {"stats": stats})
+        message = Message(
+            self.name, self.cloud_name, MessageKind.CLUSTER_STATS, {"stats": stats}
         )
-        if self.backbone is None:
-            raise RuntimeError("cloud did not assign a backbone")
+        exchanges = (policy.config.retries if policy is not None else 0) + 1
+        last_failure = "assignment reply lost"
+        for attempt in range(exchanges):
+            if attempt:
+                self.round_retry_total += 1
+                if policy is not None and policy.config.backoff > 0.0:
+                    time.sleep(policy.config.backoff * attempt)
+            try:
+                self.network.send_reliable(message, retries=0)
+            except DeliveryError as err:
+                last_failure = str(err)
+                continue
+            if self.backbone is not None:
+                return
+        raise ProtocolError(
+            f"{self.name}: cloud did not assign a backbone after "
+            f"{exchanges} exchange(s) ({last_failure})"
+        )
 
     # ------------------------------------------------------------------
     # Phase 2-1: header search + distribution
@@ -174,27 +237,74 @@ class EdgeServer:
             "header_state": header.state_dict(),
             "keep_fraction": self.config.keep_fraction,
         }
+        provisioned = 0
         for device in self.devices:
-            self.network.send(
-                Message(self.name, device.name, MessageKind.MODEL_DISTRIBUTION, dict(payload_template))
+            if not device.active:
+                continue  # dead / churned-off devices cannot receive
+            try:
+                self.network.send_reliable(
+                    Message(
+                        self.name,
+                        device.name,
+                        MessageKind.MODEL_DISTRIBUTION,
+                        dict(payload_template),
+                    )
+                )
+            except DeliveryError:
+                # The device never got a model; it sits out the
+                # aggregation rounds and the finale (checked via its
+                # missing backbone/header) rather than crashing them.
+                continue
+            provisioned += 1
+        if provisioned == 0:
+            raise ProtocolError(
+                f"{self.name}: no device received the model distribution "
+                f"({len(self.devices)} in cluster, "
+                f"{sum(d.active for d in self.devices)} active)"
             )
 
     # ------------------------------------------------------------------
     # Phase 2-2: the single loop (Algorithm 2)
     # ------------------------------------------------------------------
     def _compute_similarity(self) -> np.ndarray:
-        """Eqs. (19)-(20) from the devices' uploaded feature samples."""
-        samples = [
-            self._feature_samples[d.profile.device_id] for d in self.devices
-        ]
-        distances = distance_matrix(
-            samples, metric=self.config.similarity_metric, seed=self.config.seed
-        )
-        return regularize_similarity(
-            similarity_from_distances(distances), temperature=0.05
-        )
+        """Eqs. (19)-(20) from the devices' uploaded feature samples.
 
-    def _fleet_ready(self, backbones_equal: Optional[bool] = None) -> bool:
+        Degraded mode: a device whose feature sample never arrived gets
+        an identity row/column (self-similarity only, keeping the matrix
+        row-stochastic) and the result is marked partial, so the edge
+        keeps requesting samples and recomputes as stragglers check in.
+        With every sample present — always true on the fault-free path —
+        this is exactly the full computation.
+        """
+        ids = [d.profile.device_id for d in self.devices]
+        have = [i for i, did in enumerate(ids) if did in self._feature_samples]
+        if len(have) == len(ids):
+            self._similarity_partial = False
+            samples = [self._feature_samples[did] for did in ids]
+            distances = distance_matrix(
+                samples, metric=self.config.similarity_metric, seed=self.config.seed
+            )
+            return regularize_similarity(
+                similarity_from_distances(distances), temperature=0.05
+            )
+        self._similarity_partial = True
+        full = np.eye(len(ids))
+        if len(have) > 1:
+            samples = [self._feature_samples[ids[i]] for i in have]
+            distances = distance_matrix(
+                samples, metric=self.config.similarity_metric, seed=self.config.seed
+            )
+            sub = regularize_similarity(
+                similarity_from_distances(distances), temperature=0.05
+            )
+            full[np.ix_(have, have)] = sub
+        return full
+
+    def _fleet_ready(
+        self,
+        backbones_equal: Optional[bool] = None,
+        devices: Optional[Sequence[DeviceNode]] = None,
+    ) -> bool:
         """Whether this cluster's local updates can run fleet-batched.
 
         The fleet trainer serves every device from one backbone instance
@@ -202,11 +312,13 @@ class EdgeServer:
         value-identical frozen backbones and RNG-free forwards.  Pass
         ``backbones_equal`` when the caller already ran the
         :func:`~repro.train.serving.backbones_equivalent` sweep — it is
-        O(cluster × backbone params) and worth not repeating.
+        O(cluster × backbone params) and worth not repeating.  Degraded
+        rounds pass their participant subset as ``devices``; the fleet
+        optimizer's per-member slice steps handle any subset.
         """
         from repro.train import fleet
 
-        devices = self.devices
+        devices = self.devices if devices is None else list(devices)
         if not (
             self.config.fleet_training
             and len(devices) > 1
@@ -221,38 +333,86 @@ class EdgeServer:
             devices[0].backbone, [d.header for d in devices]
         )
 
+    def _apply_churn(self, round_index: int, policy: FaultPolicy) -> None:
+        """Re-assert every device's seeded churn state for this round.
+
+        Departing devices unregister from the fabric; returning ones
+        lazily re-register under the same name, keeping whatever model
+        state they had when they left (the carry-forward store bridges
+        the rounds they missed).
+        """
+        for device in self.devices:
+            if policy.device_active(device.profile.device_id, round_index):
+                device.reactivate()
+            else:
+                device.deactivate()
+
     def aggregation_loop(self, num_rounds: Optional[int] = None) -> np.ndarray:
-        """Run T single-loop rounds; returns the similarity matrix used."""
+        """Run T single-loop rounds; returns the similarity matrix used.
+
+        Degraded mode (fault policy installed or ``round_quorum < 1.0``):
+        each round runs with whichever devices the churn schedule keeps
+        active and actually reply.  Uploads travel via
+        :meth:`Network.send_reliable`; when fresh replies are short of
+        ``ceil(round_quorum × participants)`` the edge re-polls (cached
+        uploads, no retraining) up to ``round_retries`` times, then
+        aggregates whoever answered — masked, renormalized similarity
+        rows — carrying forward each absent device's last known set only
+        when even the quorum cannot be met.  A round with no set at all,
+        fresh or carried, is a hard :class:`ProtocolError` rather than a
+        hang.  On a fault-free fabric with the default quorum this path
+        is never taken and the loop is bit-identical to the pre-quorum
+        code; the only behavioral change there is that a missing reply
+        now raises a descriptive :class:`ProtocolError` instead of a
+        bare ``KeyError``.
+        """
         from repro.train import fleet
 
         rounds = num_rounds if num_rounds is not None else self.config.aggregation_rounds
-        # Eligibility is loop-invariant: backbones are frozen during the
-        # aggregation rounds (only header masks/weights change), so run
-        # the parameter-equivalence sweep once, not once per round.
-        use_fleet = self._fleet_ready()
+        policy = self.network.fault_policy
+        strict = policy is None and self.config.round_quorum >= 1.0
+        # Eligibility is loop-invariant on the fault-free path: backbones
+        # are frozen during the aggregation rounds (only header
+        # masks/weights change), so run the parameter-equivalence sweep
+        # once, not once per round.  Under churn the participant set
+        # moves per round, so eligibility must be re-checked.
+        use_fleet_all = self._fleet_ready() if policy is None else None
+        self.round_participation = []
         for t in range(rounds):
             self._pending_importance.clear()
-            include_features = self.similarity is None
+            if policy is not None:
+                self._apply_churn(t, policy)
+            participants = [
+                d
+                for d in self.devices
+                if d.active and d.backbone is not None and d.header is not None
+            ]
+            include_features = self.similarity is None or self._similarity_partial
+            use_fleet = (
+                use_fleet_all
+                if use_fleet_all is not None
+                else self._fleet_ready(devices=participants)
+            )
             if use_fleet:
-                # Fleet-batched local updates: every device's header
+                # Fleet-batched local updates: every participant's header
                 # trains in one graph per round with a single fused
                 # fleet-optimizer step; importance sets come back
                 # bit-identical to the per-device rounds, and the wire
                 # messages are built per device in device order so the
                 # traffic ledger matches exactly.
                 sets = fleet.fleet_importance_rounds(
-                    self.devices[0].backbone,
-                    [d.header for d in self.devices],
-                    [d.dataset for d in self.devices],
-                    [d.importance_config for d in self.devices],
+                    participants[0].backbone,
+                    [d.header for d in participants],
+                    [d.dataset for d in participants],
+                    [d.importance_config for d in participants],
                 )
                 messages = [
                     device.build_importance_message(
                         q, include_feature_sample=include_features
                     )
-                    for device, q in zip(self.devices, sets)
+                    for device, q in zip(participants, sets)
                 ]
-            else:
+            elif participants:
                 # The local importance rounds (header training + Taylor
                 # accumulation) are independent per device — fan out.  The
                 # network sends stay serial and in device order so the
@@ -261,31 +421,138 @@ class EdgeServer:
                     lambda device: device.importance_round(
                         include_feature_sample=include_features
                     ),
-                    self.devices,
+                    participants,
                     max_workers=self.config.parallel_devices,
                 )
+            else:
+                messages = []
             for message in messages:
                 message.receiver = self.name
-                self.network.send(message)
+                try:
+                    self.network.send_reliable(message)
+                except DeliveryError:
+                    continue
 
-            if self.similarity is None:
+            # Round-level quorum: re-poll the devices whose sets are
+            # missing (their cached uploads are re-sent verbatim — no
+            # retraining) until enough fresh sets arrived or the retry
+            # budget is spent.  A no-op on the fault-free path.
+            quorum = (
+                math.ceil(self.config.round_quorum * len(participants))
+                if participants
+                else 0
+            )
+            for retry in range(self.config.round_retries):
+                if self._fresh_count(participants) >= quorum:
+                    break
+                self.round_retry_total += 1
+                if self.config.retry_backoff > 0.0:
+                    time.sleep(self.config.retry_backoff * (retry + 1))
+                for device, message in zip(participants, messages):
+                    if device.profile.device_id in self._pending_importance:
+                        continue
+                    try:
+                        self.network.send_reliable(message)
+                    except DeliveryError:
+                        continue
+
+            fresh = [
+                d
+                for d in participants
+                if d.profile.device_id in self._pending_importance
+            ]
+            # Every fresh set refreshes the carry-forward store, so a
+            # device that later goes dark is represented by its most
+            # recent contribution.
+            for d in fresh:
+                did = d.profile.device_id
+                self._carried[did] = self._pending_importance[did]
+            self.round_participation.append(
+                len(fresh) / len(self.devices) if self.devices else 0.0
+            )
+
+            if self.similarity is None or self._similarity_partial:
                 self.similarity = self._compute_similarity()
 
-            ordered = [
-                self._pending_importance[d.profile.device_id] for d in self.devices
-            ]
-            personalized = aggregate_importance_sets(ordered, self.similarity)
-            for device, q_prime in zip(self.devices, personalized):
-                self.network.send(
-                    Message(
-                        self.name,
-                        device.name,
-                        MessageKind.PERSONALIZED_SET,
-                        {"importance": q_prime.astype(np.float32)},
+            if strict:
+                ordered = []
+                for d in self.devices:
+                    did = d.profile.device_id
+                    q = self._pending_importance.get(did)
+                    if q is None:
+                        raise ProtocolError(
+                            f"{self.name}: no importance set from device "
+                            f"{did} ({d.name}) in aggregation round {t}; "
+                            f"received sets from "
+                            f"{sorted(self._pending_importance)} — install "
+                            f"a fault policy or set round_quorum < 1.0 to "
+                            f"degrade instead of failing"
+                        )
+                    ordered.append(q)
+                personalized = aggregate_importance_sets(ordered, self.similarity)
+                targets = list(self.devices)
+            else:
+                index_of = {
+                    d.profile.device_id: i for i, d in enumerate(self.devices)
+                }
+                if fresh and len(fresh) >= max(1, quorum):
+                    contributors = [
+                        (index_of[d.profile.device_id],
+                         self._pending_importance[d.profile.device_id])
+                        for d in fresh
+                    ]
+                else:
+                    # Below quorum even after retries: degrade to fresh
+                    # sets plus each absent device's carried-forward one.
+                    contributors = []
+                    for i, d in enumerate(self.devices):
+                        did = d.profile.device_id
+                        if did in self._pending_importance:
+                            contributors.append((i, self._pending_importance[did]))
+                        elif did in self._carried:
+                            contributors.append((i, self._carried[did]))
+                if not contributors:
+                    raise ProtocolError(
+                        f"{self.name}: aggregation round {t} has no "
+                        f"importance set to aggregate — no device replied "
+                        f"({len(participants)} participating of "
+                        f"{len(self.devices)}) and none has a prior set to "
+                        f"carry forward"
                     )
-                )
+                # Only devices that replied receive (and prune by) a
+                # personalized set this round; absent ones catch up on
+                # their next active round.
+                targets = fresh
+                if targets:
+                    personalized = aggregate_importance_subset(
+                        [q for _, q in contributors],
+                        self.similarity,
+                        rows=[index_of[d.profile.device_id] for d in targets],
+                        cols=[i for i, _ in contributors],
+                    )
+                else:
+                    personalized = []
+            for device, q_prime in zip(targets, personalized):
+                try:
+                    self.network.send_reliable(
+                        Message(
+                            self.name,
+                            device.name,
+                            MessageKind.PERSONALIZED_SET,
+                            {"importance": q_prime.astype(np.float32)},
+                        )
+                    )
+                except DeliveryError:
+                    continue
         assert self.similarity is not None
         return self.similarity
+
+    def _fresh_count(self, participants: Sequence[DeviceNode]) -> int:
+        return sum(
+            1
+            for d in participants
+            if d.profile.device_id in self._pending_importance
+        )
 
     # ------------------------------------------------------------------
     #: Sentinel distinguishing "caller did not pass max_workers" (use the
@@ -312,7 +579,16 @@ class EdgeServer:
         """
         if max_workers is EdgeServer._USE_CONFIG_WORKERS:
             max_workers = self.config.parallel_devices
-        devices = self.devices
+        # Only devices that are on the fabric and actually hold a model
+        # reach the finale; a dead or never-provisioned device yields no
+        # result row (the cluster's participation metric reports it).
+        devices = [
+            d
+            for d in self.devices
+            if d.active and d.backbone is not None and d.header is not None
+        ]
+        if not devices:
+            return []
         cluster_ready = len(devices) > 1 and all(
             d.backbone is not None and d.header is not None for d in devices
         )
@@ -321,7 +597,9 @@ class EdgeServer:
         backbones_equal = cluster_ready and (
             self.config.batched_serving or self.config.fleet_training
         ) and serving.backbones_equivalent([d.backbone for d in devices])
-        fleet_ready = self._fleet_ready(backbones_equal=backbones_equal)
+        fleet_ready = self._fleet_ready(
+            backbones_equal=backbones_equal, devices=devices
+        )
 
         if fleet_ready:
             # Fleet-batched fine-tuning: one graph + one fused step per
@@ -356,6 +634,6 @@ class EdgeServer:
             )
         return parallel_map(
             lambda device: device.finalize_round(),
-            self.devices,
+            devices,
             max_workers=max_workers,
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -45,8 +46,12 @@ class MessageKind(enum.Enum):
 
 # Messages are constructed concurrently by parallel edge pipelines, so the
 # global sequence draws under a lock (``itertools.count`` is only atomic as
-# a CPython implementation detail).  Sequence numbers are construction
-# order — a debugging aid; ledger order is the network's (merged) log.
+# a CPython implementation detail).  This module-level counter is only the
+# fallback for bare ``Message(...)`` construction (tests, ad-hoc sends):
+# the fabric re-stamps ``sequence`` from a per-``Network`` counter on first
+# dispatch, so two identical runs in one process see identical sequence
+# numbers.  Sequence numbers remain a debugging aid; ledger order is the
+# network's (merged) log.
 _SEQUENCE = itertools.count()
 _SEQUENCE_LOCK = threading.Lock()
 
@@ -71,10 +76,33 @@ class Message:
     payload: Dict[str, Any] = field(default_factory=dict)
     nbytes: int = 0
     sequence: int = field(default_factory=_next_sequence)
+    #: Integrity stamp over the payload manifest, computed at
+    #: construction.  The fabric verifies it at delivery when a fault
+    #: policy is installed; an injected corruption fails verification and
+    #: surfaces as a retryable loss to ``send_reliable``.  Not counted in
+    #: ``nbytes`` — a real transport folds the CRC into framing overhead,
+    #: and Table I's byte accounting must not move.
+    checksum: int = -1
+    #: Delivery attempts so far (stamped by the fabric; 0 = never sent).
+    attempts: int = 0
 
     def __post_init__(self) -> None:
         if self.nbytes == 0:
             self.nbytes = payload_nbytes(self.payload)
+        if self.checksum == -1:
+            self.checksum = self.compute_checksum()
+
+    def compute_checksum(self) -> int:
+        """CRC32 over the payload manifest (kind, size, key set).
+
+        Sender/receiver are deliberately excluded: they are routing
+        metadata legitimately rewritten in flight (devices address
+        importance sets to ``""`` and the owning edge fills itself in).
+        Array *contents* are not hashed — this is a cheap wire-framing
+        check for the fault simulation, not cryptographic integrity.
+        """
+        manifest = f"{self.kind.value}|{self.nbytes}|{','.join(sorted(self.payload))}"
+        return zlib.crc32(manifest.encode("utf-8"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -30,25 +30,47 @@ the request, keeping each edge's conversation on that edge's ledger.
 copy of the caller's context, propagates an edge's active shard into
 any nested per-device fan-out.
 
-``Message.sequence`` numbers remain global construction order — a
-debugging aid only; ledger order is defined by the (merged) ``log``.
+Fault injection.  :meth:`Network.install_fault_policy` arms a seeded
+:class:`~repro.distributed.faults.FaultPolicy` that every delivery
+attempt consults: the fabric then drops, corrupts, duplicates or delays
+messages and records each injected fault in a ``fault_log`` ledger
+parallel to the traffic log (sharded and merged the same way).  A
+dropped or corrupted attempt still *records its bytes* — the transfer
+left the sender; the wire ate it — but the handler never runs.
+:meth:`send` stays datagram-like (a lost message returns ``None``);
+:meth:`send_reliable` adds timeout-style retries with linear backoff and
+raises :class:`~repro.distributed.faults.DeliveryError` when exhausted.
+With no policy installed none of these paths is taken and the fabric is
+bit-for-bit the pre-fault fabric.  See ROBUSTNESS.md.
+
+``Message.sequence`` numbers are stamped from a **per-network** counter
+on first dispatch, so two identical runs construct identical sequences
+in one process — still a debugging aid; ledger order is defined by the
+(merged) ``log``.
 """
 
 from __future__ import annotations
 
 import contextlib
 import contextvars
+import itertools
 import threading
-from collections import defaultdict
+import time
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.distributed.faults import DeliveryError, FaultPolicy, FaultRecord
 from repro.distributed.messages import Message
 
 #: The shard currently carrying a delivery (None = record on the root).
 _ACTIVE_SHARD: contextvars.ContextVar[Optional["NetworkShard"]] = contextvars.ContextVar(
     "repro_active_network_shard", default=None
 )
+
+#: XOR mask applied to a corrupted message's wire checksum, so the
+#: receiver's verification genuinely fails rather than being faked.
+_CORRUPT_MASK = 0x5EED
 
 
 @dataclass
@@ -90,11 +112,146 @@ class TrafficStats:
         return self.total_bytes / 1e6
 
 
+def _attempt(route: "_Route", message: Message) -> Tuple[Optional[Message], Optional[str]]:
+    """One delivery attempt on a route (root network or shard).
+
+    Returns ``(reply, failure)``.  ``failure`` is ``None`` when the
+    handler ran, else the injected fault that stopped it: ``"drop"``,
+    ``"corrupt"`` (checksum verification failed at the receiver) or
+    ``"delay"`` (the message is queued and will be handled after further
+    ledger activity — in flight, not lost, but the sender sees no reply,
+    which ``send_reliable`` treats as a timeout).
+
+    The attempt's bytes are recorded on the route's traffic ledger in
+    every case except an unknown receiver: faults happen on the wire,
+    after the sender has paid for the transfer.
+    """
+    root = route.root
+    shard = route if isinstance(route, NetworkShard) else None
+    handler = root._resolve(message.receiver, shard=shard)
+    if message.attempts == 0:
+        message.sequence = root._next_sequence()
+    message.attempts += 1
+    route._count_attempt()
+    route._record(message)
+    policy = root.fault_policy
+    decision = (
+        policy.decide(message.kind.value, message.sender, message.receiver)
+        if policy is not None
+        else None
+    )
+    if decision is not None and decision.drop:
+        route._record_fault(_fault(message, "drop"))
+        route._drain_delayed()
+        return None, "drop"
+    wire_checksum = message.checksum
+    if decision is not None and decision.corrupt:
+        wire_checksum ^= _CORRUPT_MASK
+    if policy is not None and wire_checksum != message.compute_checksum():
+        route._record_fault(_fault(message, "corrupt"))
+        route._drain_delayed()
+        return None, "corrupt"
+    if decision is not None and decision.delay_deliveries > 0:
+        route._record_fault(
+            _fault(message, "delay", detail=decision.delay_deliveries)
+        )
+        route._delayed.append([message, decision.delay_deliveries])
+        return None, "delay"
+    reply = route._invoke(handler, message)
+    if decision is not None and decision.duplicate:
+        route._record_fault(_fault(message, "duplicate"))
+        route._record(message)  # the duplicate transfer costs bytes too
+        route._invoke(handler, message)
+    route._drain_delayed()
+    return reply, None
+
+
+def _fault(message: Message, name: str, detail: int = 0) -> FaultRecord:
+    return FaultRecord(
+        fault=name,
+        kind=message.kind.value,
+        sender=message.sender,
+        receiver=message.receiver,
+        attempt=message.attempts,
+        detail=detail,
+    )
+
+
+def _drain_delayed(route: "_Route") -> None:
+    """Advance straggler countdowns after a fresh dispatch; deliver ripe ones.
+
+    Each queued message's countdown drops by one per fresh dispatch on
+    this ledger; at zero its handler finally runs (no further fault
+    draws — the message already passed its attempt's draw).  A receiver
+    that churned off the fabric in the meantime turns the delivery into
+    a ``"lost"`` fault record instead of an exception.  Nested sends
+    issued *during* a drain do not re-enter it (``_draining`` guard), so
+    the countdown bookkeeping stays deterministic.
+    """
+    if not route._delayed or route._draining:
+        return
+    route._draining = True
+    try:
+        ripe: List[List] = []
+        for entry in route._delayed:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                ripe.append(entry)
+        for entry in ripe:
+            route._delayed.remove(entry)
+        for message, _ in ripe:
+            try:
+                handler = route.root._resolve(message.receiver)
+            except KeyError:
+                route._record_fault(_fault(message, "lost"))
+                continue
+            route._invoke(handler, message)
+    finally:
+        route._draining = False
+
+
+def _send_reliable(
+    route: "_Route",
+    message: Message,
+    retries: Optional[int],
+    backoff: Optional[float],
+) -> Optional[Message]:
+    """Retry loop shared by ``Network.send_reliable`` and the shard's.
+
+    A lost attempt (drop / corrupt) and a delayed one (no reply = the
+    sender's timeout fired) are retried up to ``retries`` extra times
+    with ``backoff * attempt`` seconds between attempts, re-sending the
+    *same* message object — receivers' handlers are idempotent, so a
+    retry racing a delayed original is safe.  Exhaustion raises
+    :class:`DeliveryError` naming the message and its last failure.
+    """
+    policy = route.root.fault_policy
+    if retries is None:
+        retries = policy.config.retries if policy is not None else 0
+    if backoff is None:
+        backoff = policy.config.backoff if policy is not None else 0.0
+    failure: Optional[str] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            route._count_retry()
+            if backoff > 0.0:
+                time.sleep(backoff * attempt)
+        reply, failure = _attempt(route, message)
+        if failure is None:
+            return reply
+    route._count_failure()
+    raise DeliveryError(
+        f"{message.kind.value} {message.sender}->{message.receiver} "
+        f"not delivered after {retries + 1} attempt(s); last failure: {failure}"
+    )
+
+
 class Network:
     """In-process message fabric connecting cloud, edges and devices.
 
-    The root fabric: owns the (lock-protected) handler table and the
-    global ledger.  Direct :meth:`send` calls record globally unless an
+    The root fabric: owns the (lock-protected) handler table, the global
+    ledger, the optional fault policy and the per-network sequence
+    counter.  Direct :meth:`send` calls record globally unless an
     ambient :class:`NetworkShard` is active — see the module docstring.
     """
 
@@ -104,6 +261,39 @@ class Network:
         self._ledger_lock = threading.Lock()
         self.stats = TrafficStats()
         self.log: List[Message] = []
+        self.fault_policy: Optional[FaultPolicy] = None
+        self.fault_log: List[FaultRecord] = []
+        self.delivery_attempts = 0
+        self.retry_count = 0
+        self.failed_deliveries = 0
+        self._delayed: List[List] = []
+        self._draining = False
+        self._sequence = itertools.count()
+        self._sequence_lock = threading.Lock()
+
+    @property
+    def root(self) -> "Network":
+        """Uniform route interface: a network is its own root."""
+        return self
+
+    def _next_sequence(self) -> int:
+        with self._sequence_lock:
+            return next(self._sequence)
+
+    # -- fault policy ---------------------------------------------------
+    def install_fault_policy(self, policy: Optional[FaultPolicy]) -> None:
+        """Arm (or with ``None`` disarm) fault injection on this fabric.
+
+        Install before any traffic flows: the policy's per-link attempt
+        counters start at zero, so a mid-run install would shift every
+        subsequent draw and break seed replayability.
+        """
+        self.fault_policy = policy
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected faults by class (``drop``/``corrupt``/... → count)."""
+        with self._ledger_lock:
+            return dict(Counter(record.fault for record in self.fault_log))
 
     # -- registry -------------------------------------------------------
     def register(
@@ -145,6 +335,11 @@ class Network:
                 )
             del self._handlers[name]
 
+    def is_registered(self, name: str) -> bool:
+        """True if a node currently owns this name (churn-aware checks)."""
+        with self._registry_lock:
+            return name in self._handlers
+
     def nodes(self) -> List[str]:
         with self._registry_lock:
             return sorted(self._handlers)
@@ -160,6 +355,34 @@ class Network:
             )
         return handler
 
+    # -- route interface (ledger side of a delivery attempt) ------------
+    def _record(self, message: Message) -> None:
+        with self._ledger_lock:
+            self.stats.record(message)
+            self.log.append(message)
+
+    def _record_fault(self, record: FaultRecord) -> None:
+        with self._ledger_lock:
+            self.fault_log.append(record)
+
+    def _count_attempt(self) -> None:
+        with self._ledger_lock:
+            self.delivery_attempts += 1
+
+    def _count_retry(self) -> None:
+        with self._ledger_lock:
+            self.retry_count += 1
+
+    def _count_failure(self) -> None:
+        with self._ledger_lock:
+            self.failed_deliveries += 1
+
+    def _invoke(self, handler, message: Message) -> Optional[Message]:
+        return handler(message)
+
+    def _drain_delayed(self) -> None:
+        _drain_delayed(self)
+
     # -- delivery -------------------------------------------------------
     def send(self, message: Message) -> Optional[Message]:
         """Deliver a message; returns the receiver's (unrecorded) reply.
@@ -172,15 +395,35 @@ class Network:
         inside a delivery or an :meth:`NetworkShard.activate` scope), the
         transfer is recorded on that shard's local ledger instead of the
         global one.
+
+        Datagram semantics under faults: a dropped, corrupted or delayed
+        message returns ``None`` — the bytes are recorded, the fault is
+        logged, nothing raises.  Use :meth:`send_reliable` when the
+        caller needs delivery confirmation.
         """
         shard = _ACTIVE_SHARD.get()
         if shard is not None and shard.root is self:
             return shard.send(message)
-        handler = self._resolve(message.receiver)
-        with self._ledger_lock:
-            self.stats.record(message)
-            self.log.append(message)
-        return handler(message)
+        reply, _ = _attempt(self, message)
+        return reply
+
+    def send_reliable(
+        self,
+        message: Message,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> Optional[Message]:
+        """Deliver with retries/backoff; :class:`DeliveryError` when exhausted.
+
+        ``retries``/``backoff`` default to the installed policy's config
+        (0 extra attempts on a fault-free fabric, where this is exactly
+        :meth:`send` plus attempt accounting).  Routes through the
+        ambient shard like :meth:`send`.
+        """
+        shard = _ACTIVE_SHARD.get()
+        if shard is not None and shard.root is self:
+            return shard.send_reliable(message, retries=retries, backoff=backoff)
+        return _send_reliable(self, message, retries, backoff)
 
     # -- sharding -------------------------------------------------------
     def shard(self, owner: str) -> "NetworkShard":
@@ -191,9 +434,13 @@ class Network:
         """Fold shard ledgers into the global one, in the given order.
 
         The order is the determinism contract: merging in edge index
-        order reproduces the serial edge-by-edge log exactly.  Each
-        shard is drained (its local ledger reset) so a shard can never
-        be double-counted.
+        order reproduces the serial edge-by-edge log exactly — for the
+        traffic ledger *and* the fault log, which merges the same way.
+        Each shard is drained (its local ledgers reset) so a shard can
+        never be double-counted.  A shard's still-pending delayed
+        messages will never be handled once their pipeline is over; they
+        are recorded as ``"expired"`` faults rather than silently
+        vanishing.
         """
         with self._ledger_lock:
             for shard in shards:
@@ -203,8 +450,19 @@ class Network:
                     )
                 self.stats.merge_from(shard.stats)
                 self.log.extend(shard.log)
+                self.fault_log.extend(shard.fault_log)
+                for message, _ in shard._delayed:
+                    self.fault_log.append(_fault(message, "expired"))
+                self.delivery_attempts += shard.delivery_attempts
+                self.retry_count += shard.retry_count
+                self.failed_deliveries += shard.failed_deliveries
                 shard.stats = TrafficStats()
                 shard.log = []
+                shard.fault_log = []
+                shard._delayed = []
+                shard.delivery_attempts = 0
+                shard.retry_count = 0
+                shard.failed_deliveries = 0
 
     # -- inspection -----------------------------------------------------
     def kind_sequence(self) -> List[str]:
@@ -215,15 +473,21 @@ class Network:
         with self._ledger_lock:
             self.stats = TrafficStats()
             self.log = []
+            self.fault_log = []
+            self._delayed = []
+            self.delivery_attempts = 0
+            self.retry_count = 0
+            self.failed_deliveries = 0
 
 
 class NetworkShard:
     """One edge's ledger view of the fabric.
 
-    Shares the root's handler table (delivery semantics are identical)
-    but records traffic into a local :class:`TrafficStats`/log that only
-    this shard's owner writes — the thread-safety unit of the fabric.
-    Fold into the global ledger with :meth:`Network.merge_shards`.
+    Shares the root's handler table and fault policy (delivery semantics
+    are identical) but records traffic, faults, stragglers and
+    retry/attempt counters into local ledgers that only this shard's
+    owner writes — the thread-safety unit of the fabric.  Fold into the
+    global ledger with :meth:`Network.merge_shards`.
     """
 
     def __init__(self, root: Network, owner: str) -> None:
@@ -231,26 +495,64 @@ class NetworkShard:
         self.owner = owner
         self.stats = TrafficStats()
         self.log: List[Message] = []
+        self.fault_log: List[FaultRecord] = []
+        self.delivery_attempts = 0
+        self.retry_count = 0
+        self.failed_deliveries = 0
+        self._delayed: List[List] = []
+        self._draining = False
 
     def register(self, name: str, handler: Callable[[Message], Optional[Message]]) -> None:
         """Register on the *root* registry (names are fabric-global)."""
         self.root.register(name, handler, shard=self)
 
-    def send(self, message: Message) -> Optional[Message]:
-        """Deliver through the root's handler table, record locally.
-
-        The shard is installed as the ambient route for the duration of
-        the delivery, so a handler's nested sends through the root land
-        on this ledger too.
-        """
-        handler = self.root._resolve(message.receiver, shard=self)
+    # -- route interface ------------------------------------------------
+    def _record(self, message: Message) -> None:
         self.stats.record(message)
         self.log.append(message)
+
+    def _record_fault(self, record: FaultRecord) -> None:
+        self.fault_log.append(record)
+
+    def _count_attempt(self) -> None:
+        self.delivery_attempts += 1
+
+    def _count_retry(self) -> None:
+        self.retry_count += 1
+
+    def _count_failure(self) -> None:
+        self.failed_deliveries += 1
+
+    def _invoke(self, handler, message: Message) -> Optional[Message]:
         token = _ACTIVE_SHARD.set(self)
         try:
             return handler(message)
         finally:
             _ACTIVE_SHARD.reset(token)
+
+    def _drain_delayed(self) -> None:
+        _drain_delayed(self)
+
+    # -- delivery -------------------------------------------------------
+    def send(self, message: Message) -> Optional[Message]:
+        """Deliver through the root's handler table, record locally.
+
+        The shard is installed as the ambient route for the duration of
+        the delivery, so a handler's nested sends through the root land
+        on this ledger too.  Datagram semantics under faults, exactly as
+        :meth:`Network.send`.
+        """
+        reply, _ = _attempt(self, message)
+        return reply
+
+    def send_reliable(
+        self,
+        message: Message,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+    ) -> Optional[Message]:
+        """Shard-recorded :meth:`Network.send_reliable`."""
+        return _send_reliable(self, message, retries, backoff)
 
     @contextlib.contextmanager
     def activate(self):
@@ -264,3 +566,7 @@ class NetworkShard:
     def kind_sequence(self) -> List[str]:
         """Ordered kinds of this shard's (unmerged) local log."""
         return [m.kind.value for m in self.log]
+
+
+#: A delivery route: the root network or one of its shards.
+_Route = Union[Network, NetworkShard]

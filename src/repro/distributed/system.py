@@ -32,6 +32,7 @@ from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
 from repro.distributed.executor import WorkerSpec, parallel_map, split_worker_budget
+from repro.distributed.faults import FaultConfig, FaultPolicy
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import centralized_upload_bytes, relative_upload
 from repro.distributed.network import Network, NetworkShard, TrafficStats
@@ -105,6 +106,15 @@ class ACMEConfig:
     #: edge's fleet).  Ineligible clusters (stochastic models,
     #: non-equivalent backbones) fall back per device automatically.
     fleet_training: bool = False
+    #: Seeded chaos campaign for this run: drop/corrupt/duplicate/delay
+    #: rates, retry/backoff budgets, churn probability and permanently
+    #: dead devices (:class:`~repro.distributed.faults.FaultConfig`).
+    #: ``None`` (the default) installs no policy — the fabric and the
+    #: protocol are bit-for-bit the fault-free system.  With a config,
+    #: the same seed replays the identical fault log, traffic ledger and
+    #: results (tests/distributed/test_chaos.py); pair with
+    #: ``edge.round_quorum < 1.0`` for partial-round aggregation.
+    fault_config: Optional[FaultConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -159,6 +169,15 @@ class ClusterResult:
     depth: int
     device_accuracies: List[float] = field(default_factory=list)
     device_losses: List[float] = field(default_factory=list)
+    #: Fraction of the cluster that contributed a fresh importance set,
+    #: per aggregation round.  All 1.0 on a fault-free run; < 1.0 rounds
+    #: mark drops the quorum machinery absorbed, churned-off devices, or
+    #: permanently dead ones.
+    round_participation: List[float] = field(default_factory=list)
+    #: Protocol-level retries this edge spent (round re-polls and
+    #: backbone-exchange repeats; message-level retries are counted on
+    #: the network ledger).
+    protocol_retries: int = 0
 
 
 @dataclass
@@ -174,11 +193,31 @@ class ACMERunResult:
     #: cross-edge-parallel runs produce identical sub-sequences (the
     #: global sequence is their concatenation in edge index order).
     edge_message_kinds: Dict[str, List[str]] = field(default_factory=dict)
+    #: Robustness telemetry (all zero / empty on a fault-free run):
+    #: injected faults by class, message-level retry and attempt totals
+    #: from the merged network ledger, and sends that exhausted their
+    #: retries.
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    total_retries: int = 0
+    delivery_attempts: int = 0
+    failed_deliveries: int = 0
 
     @property
     def mean_accuracy(self) -> float:
         accs = [a for c in self.clusters for a in c.device_accuracies]
         return float(np.mean(accs)) if accs else float("nan")
+
+    @property
+    def participation(self) -> float:
+        """Mean fresh-contribution rate across all clusters and rounds.
+
+        1.0 when every device answered every aggregation round; below
+        that, drops/churn/dead devices left degraded rounds behind.
+        Runs without aggregation telemetry (protocol-only paths) report
+        1.0.
+        """
+        rates = [r for c in self.clusters for r in c.round_participation]
+        return float(np.mean(rates)) if rates else 1.0
 
     @property
     def upload_ratio_vs_centralized(self) -> float:
@@ -290,6 +329,19 @@ class ACMESystem:
                 EdgeServer(cluster_idx, devices, shared, self.network, cfg.edge)
             )
 
+        # --- fault injection -------------------------------------------
+        # Installed before any traffic flows so the policy's per-link
+        # attempt counters cover the whole run (seed replayability).
+        # Permanently dead devices leave the fabric immediately: they
+        # never receive a model and never contribute a set.
+        if cfg.fault_config is not None:
+            policy = FaultPolicy(cfg.fault_config)
+            self.network.install_fault_policy(policy)
+            for edge in self.edges:
+                for device in edge.devices:
+                    if policy.is_dead(device.profile.device_id):
+                        device.deactivate()
+
     # ------------------------------------------------------------------
     def run(self) -> ACMERunResult:
         """Execute the full pipeline and gather results."""
@@ -305,6 +357,10 @@ class ACMESystem:
             centralized_upload_bytes=centralized_upload_bytes(self.device_datasets),
             message_kinds=self.network.kind_sequence(),
             edge_message_kinds=dict(self._edge_message_kinds),
+            fault_counts=self.network.fault_counts(),
+            total_retries=self.network.retry_count,
+            delivery_attempts=self.network.delivery_attempts,
+            failed_deliveries=self.network.failed_deliveries,
         )
 
     def run_cloud_phases(self) -> None:
@@ -355,6 +411,8 @@ class ACMESystem:
             depth=edge.assigned_depth or cfg.vit.depth,
             device_accuracies=[e["accuracy"] for e in evals],
             device_losses=[e["loss"] for e in evals],
+            round_participation=list(edge.round_participation),
+            protocol_retries=edge.round_retry_total,
         )
 
     def run_cluster_loop(self) -> List[ClusterResult]:
@@ -395,7 +453,9 @@ class ACMESystem:
         """
         for edge in self.edges:
             for device in edge.devices:
-                self.network.unregister(device.name)
+                # Churned-off / dead devices already left the fabric.
+                if device.active:
+                    self.network.unregister(device.name)
             self.network.unregister(edge.name)
         self.network.unregister(self.cloud.name)
 

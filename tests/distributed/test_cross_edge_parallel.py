@@ -13,11 +13,15 @@ the worker-budget split that keeps nested fan-outs within the host
 budget.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.distributed import ACMEConfig, ACMESystem
 from repro.distributed.executor import split_worker_budget
+from repro.distributed.faults import FaultConfig, FaultPolicy
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
 
@@ -184,6 +188,94 @@ class TestShardFabric:
         shard = net.shard("edge0")
         with pytest.raises(KeyError, match="edge0"):
             shard.send(Message("a", "nowhere", MessageKind.ACK, nbytes=1))
+
+
+class TestAdversarialShardMerge:
+    """``merge_shards`` under fault injection and hostile interleavings.
+
+    Each shard pumps a seeded random schedule of sends while a fault
+    policy drops/corrupts/duplicates/delays deliveries.  Fault draws are
+    keyed per (kind, sender, receiver) link and every link belongs to
+    exactly one shard, so however the threads interleave, the merged
+    traffic log AND the merged fault log must equal the serial
+    edge-order run's — the same contract the system relies on for
+    chaos-run replayability under ``parallel_edges``.
+    """
+
+    KINDS = (
+        MessageKind.CLUSTER_STATS,
+        MessageKind.ACK,
+        MessageKind.IMPORTANCE_SET,
+        MessageKind.PERSONALIZED_SET,
+    )
+
+    def _schedules(self, seed, num_shards=4, sends_per_shard=40):
+        rng = np.random.default_rng(seed)
+        return [
+            [
+                (self.KINDS[int(k)], int(n))
+                for k, n in zip(
+                    rng.integers(0, len(self.KINDS), sends_per_shard),
+                    rng.integers(1, 100, sends_per_shard),
+                )
+            ]
+            for _ in range(num_shards)
+        ]
+
+    def _run(self, schedules, seed, concurrent):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.install_fault_policy(
+            FaultPolicy(
+                FaultConfig(
+                    seed=seed,
+                    drop=0.2,
+                    corrupt=0.1,
+                    duplicate=0.1,
+                    delay=0.1,
+                    delay_deliveries=2,
+                )
+            )
+        )
+        shards = [net.shard(f"edge{i}") for i in range(len(schedules))]
+
+        def pump(i):
+            jitter = np.random.default_rng(1000 + i)
+            for kind, nbytes in schedules[i]:
+                if concurrent and jitter.random() < 0.3:
+                    time.sleep(float(jitter.uniform(0.0, 0.002)))
+                shards[i].send(Message(f"edge{i}", "sink", kind, nbytes=nbytes))
+
+        if concurrent:
+            threads = [
+                threading.Thread(target=pump, args=(i,))
+                for i in range(len(shards))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        else:
+            for i in range(len(shards)):
+                pump(i)
+        net.merge_shards(shards)
+        return net
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_concurrent_merge_equals_serial_edge_order(self, seed):
+        schedules = self._schedules(seed)
+        serial = self._run(schedules, seed, concurrent=False)
+        concurrent = self._run(schedules, seed, concurrent=True)
+        assert concurrent.kind_sequence() == serial.kind_sequence()
+        assert [
+            (m.kind, m.sender, m.receiver, m.nbytes) for m in concurrent.log
+        ] == [(m.kind, m.sender, m.receiver, m.nbytes) for m in serial.log]
+        assert concurrent.fault_log == serial.fault_log
+        assert concurrent.fault_log, "campaign should have injected faults"
+        assert concurrent.stats.total_bytes == serial.stats.total_bytes
+        assert dict(concurrent.stats.by_kind) == dict(serial.stats.by_kind)
+        assert dict(concurrent.stats.by_pair) == dict(serial.stats.by_pair)
+        assert concurrent.delivery_attempts == serial.delivery_attempts
 
 
 class TestTeardown:

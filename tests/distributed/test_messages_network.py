@@ -4,7 +4,31 @@ import numpy as np
 import pytest
 
 from repro.data import ArrayDataset
-from repro.distributed import Message, MessageKind, Network, payload_nbytes
+from repro.distributed import (
+    DeliveryError,
+    FaultConfig,
+    FaultDecision,
+    FaultPolicy,
+    Message,
+    MessageKind,
+    Network,
+    payload_nbytes,
+)
+
+
+class ScriptedPolicy:
+    """Duck-typed fault policy replaying a fixed decision sequence.
+
+    The fabric only touches ``decide`` and ``config``, so tests can
+    script exact fault timelines instead of hunting for seeds.
+    """
+
+    def __init__(self, decisions, config=None):
+        self.decisions = list(decisions)
+        self.config = config or FaultConfig()
+
+    def decide(self, kind, sender, receiver):
+        return self.decisions.pop(0) if self.decisions else None
 
 
 class TestPayloadAccounting:
@@ -127,3 +151,170 @@ class TestNetwork:
         net.send(Message("a", "sink", MessageKind.DATASET_UPLOAD, nbytes=2_000_000))
         assert net.stats.upload_megabytes() == pytest.approx(2.0)
         assert net.stats.total_megabytes() == pytest.approx(2.0)
+
+
+class TestChecksum:
+    def test_stamped_at_construction(self):
+        msg = Message("a", "b", MessageKind.IMPORTANCE_SET, {"q": np.zeros(10)})
+        assert msg.checksum == msg.compute_checksum()
+
+    def test_ignores_routing_rewrites(self):
+        """Devices address importance sets to '' and the edge fills
+        itself in — the checksum must survive that."""
+        msg = Message("device0", "", MessageKind.IMPORTANCE_SET, {"q": np.zeros(4)})
+        stamped = msg.checksum
+        msg.receiver = "edge0"
+        assert msg.compute_checksum() == stamped
+
+    def test_not_counted_in_nbytes(self):
+        with_arr = Message("a", "b", MessageKind.IMPORTANCE_SET, {"q": np.zeros(50)})
+        assert with_arr.nbytes == 400  # exactly the payload, as before
+
+
+class TestPerNetworkSequence:
+    def test_identical_send_programs_stamp_identical_sequences(self):
+        def program(net):
+            net.register("sink", lambda m: None)
+            net.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+            net.send(Message("a", "sink", MessageKind.CLUSTER_STATS, nbytes=2))
+            net.send(Message("a", "sink", MessageKind.ACK, nbytes=3))
+            return [m.sequence for m in net.log]
+
+        assert program(Network()) == program(Network()) == [0, 1, 2]
+
+    def test_retries_keep_the_first_stamp(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.fault_policy = ScriptedPolicy([FaultDecision(drop=True), None])
+        msg = Message("a", "sink", MessageKind.ACK, nbytes=1)
+        net.send_reliable(msg, retries=1)
+        assert msg.sequence == 0 and msg.attempts == 2
+
+
+class TestFaultInjection:
+    def _net(self, decisions, config=None):
+        net = Network()
+        received = []
+        net.register("sink", lambda m: received.append(m) or None)
+        net.fault_policy = ScriptedPolicy(decisions, config)
+        return net, received
+
+    def test_drop_records_bytes_but_not_delivery(self):
+        net, received = self._net([FaultDecision(drop=True)])
+        reply = net.send(Message("a", "sink", MessageKind.ACK, nbytes=5))
+        assert reply is None and received == []
+        assert net.stats.total_bytes == 5  # the transfer left the sender
+        assert [f.fault for f in net.fault_log] == ["drop"]
+
+    def test_corrupt_fails_checksum_verification(self):
+        net, received = self._net([FaultDecision(corrupt=True)])
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=5))
+        assert received == []
+        assert [f.fault for f in net.fault_log] == ["corrupt"]
+
+    def test_duplicate_delivers_and_accounts_twice(self):
+        net, received = self._net([FaultDecision(duplicate=True)])
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=5))
+        assert len(received) == 2
+        assert net.stats.message_count == 2 and net.stats.total_bytes == 10
+        assert [f.fault for f in net.fault_log] == ["duplicate"]
+
+    def test_delay_defers_past_subsequent_deliveries(self):
+        net, received = self._net([FaultDecision(delay_deliveries=2)])
+        net.send(Message("a", "sink", MessageKind.CLUSTER_STATS, nbytes=1))
+        assert received == []  # queued
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        assert [m.kind for m in received] == [MessageKind.ACK]
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        # Second subsequent delivery ripens the straggler.
+        assert [m.kind for m in received] == [
+            MessageKind.ACK,
+            MessageKind.ACK,
+            MessageKind.CLUSTER_STATS,
+        ]
+        assert [f.fault for f in net.fault_log] == ["delay"]
+
+    def test_delayed_to_unregistered_receiver_is_lost_not_raised(self):
+        net, _ = self._net([FaultDecision(delay_deliveries=1)])
+        net.register("churner", lambda m: None)
+        net.send(Message("a", "churner", MessageKind.ACK, nbytes=1))
+        net.unregister("churner")
+        net.send(Message("a", "sink", MessageKind.ACK, nbytes=1))  # ripens it
+        assert [f.fault for f in net.fault_log] == ["delay", "lost"]
+
+    def test_send_reliable_retries_through_drops(self):
+        net, received = self._net(
+            [FaultDecision(drop=True), FaultDecision(corrupt=True), None]
+        )
+        msg = Message("a", "sink", MessageKind.ACK, nbytes=5)
+        net.send_reliable(msg, retries=3)
+        assert len(received) == 1 and msg.attempts == 3
+        assert net.retry_count == 2 and net.delivery_attempts == 3
+        assert net.stats.message_count == 3  # every attempt cost bytes
+
+    def test_send_reliable_exhaustion_raises(self):
+        net, _ = self._net([FaultDecision(drop=True)] * 3)
+        with pytest.raises(DeliveryError, match="ack a->sink.*drop"):
+            net.send_reliable(
+                Message("a", "sink", MessageKind.ACK, nbytes=1), retries=2
+            )
+        assert net.failed_deliveries == 1
+
+    def test_send_reliable_defaults_from_policy_config(self):
+        net, received = self._net(
+            [FaultDecision(drop=True), None], FaultConfig(retries=1)
+        )
+        net.send_reliable(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        assert len(received) == 1
+
+    def test_no_policy_send_reliable_is_plain_send(self):
+        net = Network()
+        received = []
+        net.register("sink", lambda m: received.append(m))
+        net.send_reliable(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        assert len(received) == 1 and net.retry_count == 0
+
+    def test_zero_rate_policy_is_invisible(self):
+        """A policy with all-zero rates must not change ledger semantics."""
+        programs = []
+        for policy in (None, FaultPolicy(FaultConfig(seed=0))):
+            net = Network()
+            net.register("sink", lambda m: None)
+            net.install_fault_policy(policy)
+            net.send(Message("a", "sink", MessageKind.CLUSTER_STATS, nbytes=3))
+            net.send(Message("a", "sink", MessageKind.ACK, nbytes=4))
+            programs.append(
+                (net.kind_sequence(), net.stats.total_bytes,
+                 [m.sequence for m in net.log], list(net.fault_log))
+            )
+        assert programs[0] == programs[1]
+
+
+class TestFaultShardMerge:
+    def test_shard_fault_logs_merge_in_order(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.fault_policy = ScriptedPolicy(
+            [FaultDecision(drop=True), FaultDecision(corrupt=True)]
+        )
+        first, second = net.shard("edge0"), net.shard("edge1")
+        # Interleave: edge1 faults first, but merge order must win.
+        second.send(Message("b", "sink", MessageKind.ACK, nbytes=1))
+        first.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        assert net.fault_log == []
+        net.merge_shards([first, second])
+        assert [(f.fault, f.sender) for f in net.fault_log] == [
+            ("corrupt", "a"),
+            ("drop", "b"),
+        ]
+        assert net.delivery_attempts == 2
+        assert first.fault_log == [] and second.fault_log == []  # drained
+
+    def test_pending_delays_expire_at_merge(self):
+        net = Network()
+        net.register("sink", lambda m: None)
+        net.fault_policy = ScriptedPolicy([FaultDecision(delay_deliveries=5)])
+        shard = net.shard("edge0")
+        shard.send(Message("a", "sink", MessageKind.ACK, nbytes=1))
+        net.merge_shards([shard])
+        assert [f.fault for f in net.fault_log] == ["delay", "expired"]

@@ -1,0 +1,59 @@
+"""Tier-1 smoke run of ``benchmarks/bench_chaos.py``.
+
+The perf benches only run when a perf PR invokes them; this test drives
+the chaos bench end to end in its ``--smoke`` mode (tiny shapes, no
+floor assertions, ``BENCH_perf.json`` untouched) so the script itself
+cannot rot between perf PRs — its imports, the fabric microbench, the
+seeded 10%-drop campaign with its all-rounds-completed asserts, and the
+record plumbing all execute on every test run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestBenchChaosSmoke:
+    def test_smoke_mode_runs_clean(self):
+        trajectory = REPO_ROOT / "BENCH_perf.json"
+        before = trajectory.read_bytes() if trajectory.exists() else None
+        full_results = REPO_ROOT / "bench_results" / "bench_chaos.json"
+        full_before = full_results.read_bytes() if full_results.exists() else None
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_chaos.py"),
+                "--smoke",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "bench_chaos_smoke" in result.stdout
+        assert "chaos_fabric_overhead" in result.stdout
+
+        # Smoke mode must never touch the committed trajectory or the
+        # full run's diagnostic records.
+        after = trajectory.read_bytes() if trajectory.exists() else None
+        assert before == after
+        full_after = full_results.read_bytes() if full_results.exists() else None
+        assert full_before == full_after
+
+        # The smoke payload is the full machine-readable schema.
+        payload = json.loads(
+            (REPO_ROOT / "bench_results" / "bench_chaos_smoke.json").read_text()
+        )
+        assert payload["schema"] == "perf/v1"
+        labels = {r["label"] for r in payload["results"]}
+        assert {"chaos_fabric_overhead", "chaos_campaign_10pct_drop"} <= labels
+        assert all(r.get("floor") is None for r in payload["results"])
+        campaign = next(
+            r for r in payload["results"] if r["label"] == "chaos_campaign_10pct_drop"
+        )
+        assert campaign["completed_rounds"] > 0

@@ -7,6 +7,7 @@ not just the occasional bench invocation.  See scripts/check_floors.py.
 """
 
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
@@ -53,4 +54,45 @@ class TestPerfFloors:
     def test_checker_cli_passes_on_committed_file(self, capsys):
         module = _load_check_floors()
         assert module.main(["check_floors.py"]) == 0
-        assert "ok:" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "ok:" in out
+        # The status table prints one row per record before the verdict.
+        assert "record" in out and "speedup" in out and "floor" in out
+
+    def test_checker_cli_fails_readably_on_regressed_file(self, tmp_path, capsys):
+        """A regressed trajectory exits nonzero and the FAIL line carries
+        the measured values, not just a boolean verdict."""
+        module = _load_check_floors()
+        bad = {
+            "bench": "bench_example",
+            "schema": "perf/v1",
+            "unix_time": 0.0,
+            "results": [
+                {
+                    "label": "regressed_kernel",
+                    "bench": "bench_example",
+                    "fast": {"best_s": 2.0, "mean_s": 2.0},
+                    "baseline": {"best_s": 1.0, "mean_s": 1.0},
+                    "speedup": 0.5,
+                    "floor": 1.5,
+                },
+                {
+                    "label": "healthy_kernel",
+                    "bench": "bench_example",
+                    "fast": {"best_s": 0.5, "mean_s": 0.5},
+                    "baseline": {"best_s": 1.0, "mean_s": 1.0},
+                    "speedup": 2.0,
+                    "floor": 1.5,
+                },
+            ],
+        }
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(bad))
+        assert module.main(["check_floors.py", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL regressed_kernel" in out
+        assert "0.50x" in out and "1.50x" in out  # measured value + floor
+        assert "fast best 2s vs baseline best 1s" in out
+        assert "1 of 2 floored record(s) FAILED" in out
+        # The healthy record still shows as ok in the table.
+        assert "healthy_kernel" in out
