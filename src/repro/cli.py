@@ -63,6 +63,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.distributed.scale import ScaleConfig, run_scale_campaign
+
+    config = ScaleConfig(
+        num_devices=args.devices,
+        num_clusters=args.clusters,
+        rounds=args.rounds,
+        set_size=args.set_size,
+        lru_capacity=args.lru,
+        always_live=args.always_live,
+        eval_requests=args.eval_requests,
+        deadline_quantile=args.deadline_quantile,
+        churn=args.churn,
+        drop=args.drop,
+        ledger=args.ledger,
+        seed=args.seed,
+    )
+    report = run_scale_campaign(config, measure_memory=args.memory)
+    print(json.dumps(report.to_dict(), indent=2))
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.core.search_space import table1_search_space_row
 
@@ -158,6 +180,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
+
+    scale = sub.add_parser(
+        "scale",
+        help="synthetic fleet-scale campaign (lazy LRU device state, "
+        "streaming aggregation, straggler deadlines, serving front)",
+    )
+    scale.add_argument("--devices", type=int, default=10_000)
+    scale.add_argument("--clusters", type=int, default=8)
+    scale.add_argument("--rounds", type=int, default=3)
+    scale.add_argument("--set-size", type=int, default=64)
+    scale.add_argument(
+        "--lru",
+        type=int,
+        default=64,
+        help="live headers kept per cluster before cold devices are "
+        "evicted to compact serialized state",
+    )
+    scale.add_argument(
+        "--always-live",
+        action="store_true",
+        help="disable lazy eviction; every device keeps a live header "
+        "(the memory baseline the LRU exists to beat)",
+    )
+    scale.add_argument("--eval-requests", type=int, default=8)
+    scale.add_argument(
+        "--deadline-quantile",
+        type=float,
+        default=1.0,
+        metavar="Q",
+        help="per-cluster straggler deadline as a latency quantile "
+        "(1.0 = no deadline; 0.9 drops the slowest decile each round)",
+    )
+    scale.add_argument("--churn", type=float, default=0.0)
+    scale.add_argument("--drop", type=float, default=0.0)
+    scale.add_argument(
+        "--ledger",
+        choices=["full", "summary"],
+        default="summary",
+        help="traffic ledger mode; 'summary' bounds memory at fleet scale",
+    )
+    scale.add_argument(
+        "--memory",
+        action="store_true",
+        help="trace peak memory with tracemalloc (slower)",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+    scale.set_defaults(func=_cmd_scale)
 
     table1 = sub.add_parser("table1", help="Table I search-space accounting")
     table1.add_argument("--fleet", type=int, default=10)

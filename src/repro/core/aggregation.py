@@ -65,6 +65,30 @@ def aggregation_weights(
     )
 
 
+def _accumulate_weighted(
+    weight_rows: np.ndarray, sets: Sequence[np.ndarray]
+) -> np.ndarray:
+    """The one accumulation kernel behind every aggregation path.
+
+    Computes ``out[i] = Σ_j weight_rows[i, j] · sets[j]`` as a running
+    sum over ``j`` — one elementwise multiply-add per incoming set.
+    Because the per-cell arithmetic is an independent scalar chain
+    ``acc += w · q`` in a fixed ``j`` order, the result is bit-for-bit
+    identical whether the rows are accumulated all at once (the batch
+    functions below), one output row at a time, or one *input* set at a
+    time (:class:`StreamingAggregator`, which never materializes the
+    ``(n, R)`` stack).  A BLAS ``w @ stacked`` product would not give
+    that guarantee — dgemv's blocked accumulation order differs from the
+    running sum — which is why every caller funnels through here.
+    """
+    num_rows = weight_rows.shape[0]
+    length = sets[0].size if sets else 0
+    out = np.zeros((num_rows, length), dtype=np.float64)
+    for j, q in enumerate(sets):
+        out += weight_rows[:, j : j + 1] * q[np.newaxis, :]
+    return out
+
+
 def aggregate_importance_sets(
     importance_sets: Sequence[np.ndarray], weights: np.ndarray
 ) -> List[np.ndarray]:
@@ -79,8 +103,8 @@ def aggregate_importance_sets(
     length = sets[0].size
     if any(q.size != length for q in sets):
         raise ValueError("importance sets must share a length to aggregate")
-    stacked = np.stack(sets)  # (n, R)
-    return [weights[i] @ stacked for i in range(n)]
+    out = _accumulate_weighted(weights, sets)
+    return [out[i] for i in range(n)]
 
 
 def aggregate_importance_subset(
@@ -119,17 +143,149 @@ def aggregate_importance_subset(
     if not np.allclose(weights.sum(axis=1), 1.0, atol=1e-6):
         raise ValueError("weight rows must sum to 1 (convex combination)")
     col_index = np.asarray(cols, dtype=int)
-    stacked = np.stack(sets)  # (len(cols), R)
-    out = []
-    for i in rows:
-        w = weights[i, col_index]
-        total = w.sum()
-        if total <= 0.0:
-            w = np.full(len(sets), 1.0 / len(sets))
+    masked = np.stack([_masked_row(weights[i], col_index) for i in rows])
+    out = _accumulate_weighted(masked, sets)
+    return [out[k] for k in range(len(rows))]
+
+
+def _masked_row(row: np.ndarray, col_index: np.ndarray) -> np.ndarray:
+    """One weight row masked to the present columns and renormalized.
+
+    Shared by :func:`aggregate_importance_subset` and
+    :class:`StreamingAggregator` so both compute bit-identical weights.
+    """
+    w = row[col_index]
+    total = w.sum()
+    if total <= 0.0:
+        return np.full(len(col_index), 1.0 / len(col_index))
+    return w / total
+
+
+class StreamingAggregator:
+    """O(1)-memory streaming form of Eq. (21) for fleet-scale rounds.
+
+    The batch functions above stack every member's importance set into an
+    ``(n, R)`` matrix before aggregating — at 10⁴–10⁶ devices that stack
+    *is* the memory bill.  This class consumes importance messages one at
+    a time into a running-sum accumulator of shape ``(rows, R)``, so the
+    edge holds one personalized-set accumulator (plus one weight row per
+    requested output) regardless of how many members report.
+
+    Parity contract: with ``cols=None`` the finalized rows are bit-for-bit
+    equal (float64) to :func:`aggregate_importance_sets`; with an explicit
+    ``cols`` subset they are bit-for-bit equal to
+    :func:`aggregate_importance_subset` — both by construction, since all
+    three paths share :func:`_accumulate_weighted` and the subset paths
+    share :func:`_masked_row` (asserted in
+    ``tests/core/test_aggregation_streaming.py``).
+
+    Parameters
+    ----------
+    weights:
+        Either the full square ``(n, n)`` row-stochastic matrix (validated
+        like the batch path) or a pre-sliced ``(len(rows), n)`` block of
+        its rows — the O(rows · n) form a million-device edge passes so
+        the square matrix never exists.
+    rows:
+        Full-matrix row indices to produce personalized sets for, in
+        output order.  Required when ``weights`` is square and a subset is
+        wanted; must be ``None`` when ``weights`` is pre-sliced.
+    cols:
+        The full-cluster indices whose sets will arrive — **in arrival
+        order** — or ``None`` for "all ``n`` members, in index order"
+        (the fault-free path, no renormalization, matching
+        :func:`aggregate_importance_sets` exactly).  With an explicit
+        subset each weight row is masked and renormalized up front, so
+        the stream can be consumed without waiting for the round to end.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        rows: Optional[Sequence[int]] = None,
+        cols: Optional[Sequence[int]] = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.num_members = int(weights.shape[1])
+        square = weights.shape[0] == self.num_members and rows is None
+        if rows is not None:
+            if weights.shape[0] != self.num_members:
+                raise ValueError(
+                    "rows indices only apply to a square weight matrix; "
+                    f"got shape {weights.shape} with rows={list(rows)}"
+                )
+            weight_rows = weights[np.asarray(rows, dtype=int)]
         else:
-            w = w / total
-        out.append(w @ stacked)
-    return out
+            weight_rows = weights
+        if square or rows is not None:
+            if not np.allclose(weights.sum(axis=1), 1.0, atol=1e-6):
+                raise ValueError("weight rows must sum to 1 (convex combination)")
+        if cols is None:
+            self._cols = np.arange(self.num_members)
+            self._weight_rows = weight_rows
+        else:
+            self._cols = np.asarray(cols, dtype=int)
+            if len(self._cols) == 0:
+                raise ValueError(
+                    "cannot aggregate an empty round: no member present"
+                )
+            self._weight_rows = np.stack(
+                [_masked_row(row, self._cols) for row in weight_rows]
+            )
+        self._acc: Optional[np.ndarray] = None
+        self._consumed = 0
+
+    @property
+    def expected(self) -> int:
+        """How many sets this round will consume."""
+        return len(self._cols)
+
+    @property
+    def consumed(self) -> int:
+        return self._consumed
+
+    def consume(self, col: int, importance: np.ndarray) -> None:
+        """Fold one member's importance set into the running sums.
+
+        ``col`` is the member's full-cluster index; sets must arrive in
+        the constructor's ``cols`` order (the determinism contract — the
+        running sum's accumulation order defines the result's bits).
+        """
+        if self._consumed >= len(self._cols):
+            raise ValueError(
+                f"round already complete: {self._consumed} sets consumed"
+            )
+        expected_col = int(self._cols[self._consumed])
+        if int(col) != expected_col:
+            raise ValueError(
+                f"out-of-order set: got member {col}, expected member "
+                f"{expected_col} (arrival position {self._consumed}); "
+                f"streaming aggregation is order-deterministic"
+            )
+        q = np.asarray(importance, dtype=np.float64).reshape(-1)
+        if self._acc is None:
+            self._acc = np.zeros(
+                (self._weight_rows.shape[0], q.size), dtype=np.float64
+            )
+        elif q.size != self._acc.shape[1]:
+            raise ValueError(
+                f"importance set length {q.size} != {self._acc.shape[1]}"
+            )
+        j = self._consumed
+        self._acc += self._weight_rows[:, j : j + 1] * q[np.newaxis, :]
+        self._consumed += 1
+
+    def finalize(self) -> List[np.ndarray]:
+        """The personalized sets, one per requested row, in row order."""
+        if self._consumed != len(self._cols):
+            raise ValueError(
+                f"round incomplete: {self._consumed} of {len(self._cols)} "
+                f"sets consumed"
+            )
+        assert self._acc is not None
+        return [self._acc[k] for k in range(self._acc.shape[0])]
 
 
 @dataclass

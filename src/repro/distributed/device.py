@@ -24,12 +24,22 @@ from repro.core.similarity import extract_features
 from repro.data.dataset import ArrayDataset
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
+from repro.distributed.state_store import (
+    DeviceStateLRU,
+    restore_header,
+    snapshot_header,
+)
 from repro.hw.profiles import DeviceProfile
 from repro.models.blocks import HeaderSpec
 from repro.models.header_dag import DAGHeader
 from repro.models.vit import VisionTransformer, ViTConfig
+from repro.nn.serialization import state_from_bytes, state_to_bytes
 from repro.train.serving import batched_evaluate_headers
 from repro.train.trainer import TrainConfig, train_header
+
+#: Snapshot key for the cached frozen-feature sample (kept distinct from
+#: the header's ``param.``/``mask.``/``pristine.`` namespaces).
+_FEATURE_KEY = "feature.sample"
 
 
 class DeviceNode:
@@ -43,6 +53,7 @@ class DeviceNode:
         test_dataset: Optional[ArrayDataset] = None,
         importance_config: Optional[ImportanceConfig] = None,
         seed: int = 0,
+        state_store: Optional[DeviceStateLRU] = None,
     ) -> None:
         self.profile = profile
         self.dataset = dataset
@@ -54,6 +65,21 @@ class DeviceNode:
         self.backbone: Optional[VisionTransformer] = None
         self.header: Optional[DAGHeader] = None
         self.keep_fraction: float = 0.7
+        #: Lazy-state mode: when a :class:`DeviceStateLRU` is attached,
+        #: the device does not materialize its backbone/header at model
+        #: distribution.  It keeps the payload, hydrates on first touch
+        #: (building the header exactly as :meth:`_receive_model` would
+        #: have, borrowing the store's shared backbone), and serializes
+        #: its mutable state to a compact blob when the store evicts it.
+        #: Every path is bit-for-bit identical to the always-live mode.
+        self.state_store = state_store
+        self._model_payload: Optional[dict] = None
+        self._cold_state: Optional[bytes] = None
+        #: Deterministic cache of the similarity feature sample: frozen
+        #: backbone + fixed seed make :func:`extract_features` a pure
+        #: function of installed state, so computing it once per model
+        #: distribution is value-identical to recomputing per round.
+        self._feature_sample: Optional[np.ndarray] = None
         #: Churn state: an inactive device is unregistered from the
         #: fabric (sends to it raise ``KeyError``) and sits out protocol
         #: rounds until :meth:`reactivate` re-registers it.
@@ -82,6 +108,64 @@ class DeviceNode:
             self.active = True
 
     # ------------------------------------------------------------------
+    # Lazy-state protocol (DeviceStateLRU owner interface)
+    # ------------------------------------------------------------------
+    @property
+    def has_model(self) -> bool:
+        """Whether this device holds a distributed model, live or cold.
+
+        The protocol's participation checks use this instead of probing
+        ``backbone``/``header`` directly, so a lazily evicted device
+        still counts as provisioned.
+        """
+        if self.header is not None:
+            return True
+        return self.state_store is not None and self._model_payload is not None
+
+    def _ensure_live(self) -> None:
+        """Materialize model state before any use (no-op when live)."""
+        if self.state_store is not None:
+            assert self._model_payload is not None, "model must be distributed first"
+            self.state_store.touch(self)
+        assert self.backbone is not None and self.header is not None
+
+    def _hydrate(self) -> None:
+        """Store callback: build (first touch) or restore (post-evict)."""
+        payload = self._model_payload
+        assert payload is not None and self.state_store is not None
+        self.backbone = self.state_store.shared_backbone(payload)
+        config: ViTConfig = payload["vit_config"]
+        spec: HeaderSpec = payload["header_spec"]
+        self.header = DAGHeader(
+            config.embed_dim,
+            config.num_patches,
+            config.num_classes,
+            spec,
+            rng=np.random.default_rng(self.seed),
+        )
+        if self._cold_state is None:
+            self.header.load_state_dict(payload["header_state"])
+            return
+        state = state_from_bytes(self._cold_state)
+        sample = state.pop(_FEATURE_KEY, None)
+        if sample is not None:
+            self._feature_sample = sample
+        restore_header(self.header, state)
+        self._cold_state = None
+
+    def _evict(self) -> None:
+        """Store callback: snapshot mutable state, drop live references."""
+        assert self.header is not None
+        state = snapshot_header(self.header)
+        if self._feature_sample is not None:
+            state[_FEATURE_KEY] = self._feature_sample
+        assert self.state_store is not None
+        self._cold_state = state_to_bytes(state, compress=self.state_store.compress)
+        self.header = None
+        self.backbone = None
+        self._feature_sample = None
+
+    # ------------------------------------------------------------------
     def handle(self, message: Message) -> Optional[Message]:
         if message.kind is MessageKind.MODEL_DISTRIBUTION:
             return self._receive_model(message)
@@ -90,7 +174,23 @@ class DeviceNode:
         raise ValueError(f"{self.name} cannot handle {message.kind}")
 
     def _receive_model(self, message: Message) -> Message:
-        """Install the distributed backbone + coarse header."""
+        """Install the distributed backbone + coarse header.
+
+        In lazy mode the payload is stashed and nothing is built — the
+        header materializes on first touch (:meth:`_hydrate`), from the
+        same payload with the same seeded RNG, so the eventual live
+        state is bit-identical to building it here.  The ACK is
+        payload-free either way, so the wire traffic does not change.
+        """
+        self._feature_sample = None
+        if self.state_store is not None:
+            self.state_store.drop(self)
+            self._model_payload = message.payload
+            self._cold_state = None
+            self.backbone = None
+            self.header = None
+            self.keep_fraction = float(message.payload.get("keep_fraction", 0.7))
+            return Message(self.name, message.sender, MessageKind.ACK)
         config: ViTConfig = message.payload["vit_config"]
         self.backbone = VisionTransformer(config, seed=0)
         self.backbone.load_state_dict(message.payload["backbone_state"])
@@ -113,7 +213,8 @@ class DeviceNode:
 
     def _receive_personalized_set(self, message: Message) -> Message:
         """Algorithm 2 line 11: prune the header by the aggregated set Q'_n."""
-        assert self.header is not None, "model must be distributed first"
+        assert self.has_model, "model must be distributed first"
+        self._ensure_live()
         q_prime = message.payload["importance"]
         prune_by_importance(self.header, q_prime, self.keep_fraction)
         return Message(self.name, message.sender, MessageKind.ACK)
@@ -125,7 +226,7 @@ class DeviceNode:
         The caller (edge server) transmits the returned message through the
         network so the bytes are accounted on the uplink.
         """
-        assert self.backbone is not None and self.header is not None
+        self._ensure_live()
         q = compute_importance_set(
             self.backbone, self.header, self.dataset, config=self.importance_config
         )
@@ -149,9 +250,11 @@ class DeviceNode:
             "device_id": self.profile.device_id,
         }
         if include_feature_sample:
-            payload["feature_sample"] = extract_features(
-                self.backbone, self.dataset, max_samples=16, seed=self.seed
-            ).astype(np.float32)
+            if self._feature_sample is None:
+                self._feature_sample = extract_features(
+                    self.backbone, self.dataset, max_samples=16, seed=self.seed
+                ).astype(np.float32)
+            payload["feature_sample"] = self._feature_sample
         return Message(self.name, "", MessageKind.IMPORTANCE_SET, payload)
 
     def finetune_config(self) -> TrainConfig:
@@ -160,7 +263,7 @@ class DeviceNode:
 
     def finetune(self, config: Optional[TrainConfig] = None) -> None:
         """Final local header training (backbone frozen, mask enforced)."""
-        assert self.backbone is not None and self.header is not None
+        self._ensure_live()
         train_header(
             self.backbone,
             self.header,
@@ -195,7 +298,7 @@ class DeviceNode:
         batches whole clusters through the same runner in
         :meth:`repro.distributed.edge.EdgeServer.finalize`.
         """
-        assert self.backbone is not None and self.header is not None
+        self._ensure_live()
         return batched_evaluate_headers(
             self.backbone, [self.header], [self.eval_dataset()]
         )[0]

@@ -36,6 +36,7 @@ from repro.distributed.executor import WorkerSpec, parallel_map
 from repro.distributed.faults import DeliveryError, FaultPolicy, ProtocolError
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.network import Network
+from repro.hw.energy import latency
 from repro.hw.profiles import cluster_statistics
 from repro.models.blocks import HeaderSpec
 from repro.models.vit import VisionTransformer, ViTConfig
@@ -96,6 +97,18 @@ class EdgeConfig:
     #: Seconds of linear backoff between round-level retries (scaled by
     #: the retry index).  Keep 0.0 in tests — the fabric is instant.
     retry_backoff: float = 0.0
+    #: Straggler deadline in *simulated* seconds per local epoch: a
+    #: device whose hardware model predicts a slower epoch
+    #: (:func:`repro.hw.energy.latency` at the assigned width/depth)
+    #: misses the aggregation round entirely — no local round, no
+    #: upload, no personalized set — making partial rounds first-class
+    #: on a fault-free fabric.  Determination is deterministic from the
+    #: device profiles.  The on-time subset aggregates through the same
+    #: masked/renormalized path as quorum rounds (the fleet trainer's
+    #: member-slice stepping handles the subset), and a deadline no
+    #: device misses reproduces the full round bit-for-bit.  ``None``
+    #: (default) disables the deadline.
+    round_deadline: Optional[float] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -319,6 +332,11 @@ class EdgeServer:
         from repro.train import fleet
 
         devices = self.devices if devices is None else list(devices)
+        # Lazy clusters never fleet-batch: the fleet round holds every
+        # member's header across the whole stacked graph, which the LRU
+        # could evict (snapshotting stale values) mid-round.
+        if any(d.state_store is not None for d in devices):
+            return False
         if not (
             self.config.fleet_training
             and len(devices) > 1
@@ -347,6 +365,33 @@ class EdgeServer:
             else:
                 device.deactivate()
 
+    def _lazy_cluster(self) -> bool:
+        """Whether any device keeps its state in a :class:`DeviceStateLRU`.
+
+        Lazy clusters run their device fan-outs serially: a concurrent
+        hydration could evict a peer whose header another worker is
+        mid-way through training.
+        """
+        return any(d.state_store is not None for d in self.devices)
+
+    def _on_time(self, participants: Sequence[DeviceNode]) -> List[DeviceNode]:
+        """The participants that make the round's straggler deadline.
+
+        Eq. (2)'s per-epoch latency at the assigned scale decides —
+        deterministically, from the device profile — who uploads before
+        the edge aggregates.  Without a deadline everyone is on time.
+        """
+        deadline = self.config.round_deadline
+        if deadline is None:
+            return list(participants)
+        width = self.assigned_width if self.assigned_width is not None else 1.0
+        depth = self.assigned_depth if self.assigned_depth is not None else 1
+        return [
+            d
+            for d in participants
+            if latency(d.profile, width, depth) <= deadline
+        ]
+
     def aggregation_loop(self, num_rounds: Optional[int] = None) -> np.ndarray:
         """Run T single-loop rounds; returns the similarity matrix used.
 
@@ -370,23 +415,34 @@ class EdgeServer:
 
         rounds = num_rounds if num_rounds is not None else self.config.aggregation_rounds
         policy = self.network.fault_policy
-        strict = policy is None and self.config.round_quorum >= 1.0
+        deadline = self.config.round_deadline
+        strict = (
+            policy is None
+            and self.config.round_quorum >= 1.0
+            and deadline is None
+        )
         # Eligibility is loop-invariant on the fault-free path: backbones
         # are frozen during the aggregation rounds (only header
         # masks/weights change), so run the parameter-equivalence sweep
         # once, not once per round.  Under churn the participant set
-        # moves per round, so eligibility must be re-checked.
-        use_fleet_all = self._fleet_ready() if policy is None else None
+        # moves per round, so eligibility must be re-checked; same for
+        # deadline rounds, whose on-time subset is what trains.
+        use_fleet_all = (
+            self._fleet_ready() if policy is None and deadline is None else None
+        )
+        lazy = self._lazy_cluster()
+        workers = None if lazy else self.config.parallel_devices
         self.round_participation = []
         for t in range(rounds):
             self._pending_importance.clear()
             if policy is not None:
                 self._apply_churn(t, policy)
-            participants = [
-                d
-                for d in self.devices
-                if d.active and d.backbone is not None and d.header is not None
-            ]
+            # Stragglers past the deadline sit the round out entirely:
+            # they neither train nor upload, exactly like a device whose
+            # upload was lost — but deterministically, from the profile.
+            participants = self._on_time(
+                d for d in self.devices if d.active and d.has_model
+            )
             include_features = self.similarity is None or self._similarity_partial
             use_fleet = (
                 use_fleet_all
@@ -422,7 +478,7 @@ class EdgeServer:
                         include_feature_sample=include_features
                     ),
                     participants,
-                    max_workers=self.config.parallel_devices,
+                    max_workers=workers,
                 )
             else:
                 messages = []
@@ -523,7 +579,17 @@ class EdgeServer:
                 # personalized set this round; absent ones catch up on
                 # their next active round.
                 targets = fresh
-                if targets:
+                if len(fresh) == len(self.devices):
+                    # Everybody made the round: aggregate through the
+                    # full-matrix path so a fault-free run under a
+                    # benign policy, quorum, or deadline stays
+                    # bit-identical to the strict loop (the subset
+                    # path's row renormalization divides by a float
+                    # row-sum that need not be exactly 1.0).
+                    personalized = aggregate_importance_sets(
+                        [q for _, q in contributors], self.similarity
+                    )
+                elif targets:
                     personalized = aggregate_importance_subset(
                         [q for _, q in contributors],
                         self.similarity,
@@ -582,13 +648,11 @@ class EdgeServer:
         # Only devices that are on the fabric and actually hold a model
         # reach the finale; a dead or never-provisioned device yields no
         # result row (the cluster's participation metric reports it).
-        devices = [
-            d
-            for d in self.devices
-            if d.active and d.backbone is not None and d.header is not None
-        ]
+        devices = [d for d in self.devices if d.active and d.has_model]
         if not devices:
             return []
+        if self._lazy_cluster():
+            return self._finalize_lazy(devices)
         cluster_ready = len(devices) > 1 and all(
             d.backbone is not None and d.header is not None for d in devices
         )
@@ -637,3 +701,34 @@ class EdgeServer:
             devices,
             max_workers=max_workers,
         )
+
+    def _finalize_lazy(self, devices: List[DeviceNode]) -> List[dict]:
+        """Finale for a lazy cluster: serial, in LRU-capacity chunks.
+
+        Fine-tuning hydrates each device in turn; chunking by the
+        store's capacity guarantees a whole chunk is simultaneously live
+        afterwards, so its evaluation can still ride one batched
+        backbone forward.  Per-device results are row-independent in
+        :func:`~repro.train.serving.batched_evaluate_headers`, so any
+        chunking is bit-identical to the unchunked always-live finale.
+        """
+        store = next(d.state_store for d in devices if d.state_store is not None)
+        shared_backbone = all(d.state_store is not None for d in devices) and (
+            len({id(d._model_payload["backbone_state"]) for d in devices}) == 1
+        )
+        results: List[dict] = []
+        for start in range(0, len(devices), store.capacity):
+            chunk = devices[start : start + store.capacity]
+            if self.config.batched_serving and shared_backbone and len(chunk) > 1:
+                for device in chunk:
+                    device.finetune()
+                results.extend(
+                    serving.batched_evaluate_headers(
+                        chunk[0].backbone,
+                        [d.header for d in chunk],
+                        [d.eval_dataset() for d in chunk],
+                    )
+                )
+            else:
+                results.extend(device.finalize_round() for device in chunk)
+        return results

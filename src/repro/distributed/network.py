@@ -54,9 +54,10 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import itertools
+import re
 import threading
 import time
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -72,6 +73,24 @@ _ACTIVE_SHARD: contextvars.ContextVar[Optional["NetworkShard"]] = contextvars.Co
 #: receiver's verification genuinely fails rather than being faked.
 _CORRUPT_MASK = 0x5EED
 
+#: Messages kept (most recent first to fall out) by a summary-mode
+#: ledger's bounded log — enough tail for debugging a scale run without
+#: the O(messages) growth of the full ledger.
+_SUMMARY_TAIL = 256
+
+_TRAILING_DIGITS = re.compile(r"\d+$")
+
+
+def _role(name: str) -> str:
+    """Collapse a node name to its role: ``device123`` → ``device*``.
+
+    Summary-mode per-pair byte counters key on roles instead of
+    individual nodes; a million-device run then keeps a handful of
+    (role, role) rows instead of one per device.
+    """
+    collapsed = _TRAILING_DIGITS.sub("*", name)
+    return collapsed
+
 
 @dataclass
 class TrafficStats:
@@ -83,6 +102,11 @@ class TrafficStats:
     message_count: int = 0
     by_kind: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     by_pair: Dict[Tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
+    #: Summary-ledger mode: key ``by_pair`` on collapsed roles
+    #: (``device*``/``edge*``) instead of individual node names, keeping
+    #: the table O(roles²) regardless of fleet size.  All scalar and
+    #: per-kind counters stay exact.
+    collapse_pairs: bool = False
 
     def record(self, message: Message) -> None:
         self.total_bytes += message.nbytes
@@ -92,7 +116,10 @@ class TrafficStats:
         else:
             self.download_bytes += message.nbytes
         self.by_kind[message.kind.value] += message.nbytes
-        self.by_pair[(message.sender, message.receiver)] += message.nbytes
+        pair = (message.sender, message.receiver)
+        if self.collapse_pairs:
+            pair = (_role(pair[0]), _role(pair[1]))
+        self.by_pair[pair] += message.nbytes
 
     def merge_from(self, other: "TrafficStats") -> None:
         """Fold another ledger's counters into this one (shard merge)."""
@@ -103,6 +130,8 @@ class TrafficStats:
         for kind, nbytes in other.by_kind.items():
             self.by_kind[kind] += nbytes
         for pair, nbytes in other.by_pair.items():
+            if self.collapse_pairs:
+                pair = (_role(pair[0]), _role(pair[1]))
             self.by_pair[pair] += nbytes
 
     def upload_megabytes(self) -> float:
@@ -255,14 +284,31 @@ class Network:
     ambient :class:`NetworkShard` is active — see the module docstring.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, ledger: str = "full") -> None:
+        if ledger not in ("full", "summary"):
+            raise ValueError(
+                f"ledger must be 'full' or 'summary', got {ledger!r}"
+            )
+        #: ``"full"`` (default): every delivered message object is kept
+        #: on :attr:`log` — O(messages) memory, the mode Table-I counters
+        #: and the conformance/parity tests rely on.  ``"summary"``:
+        #: :attr:`log`/:attr:`fault_log` keep only a bounded tail
+        #: (:data:`_SUMMARY_TAIL`) and per-pair byte counters collapse to
+        #: roles, bounding ledger memory for fleet-scale runs; exact
+        #: per-kind message counts stay available as :attr:`kind_counts`.
+        self.ledger = ledger
         self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {}
         self._registry_lock = threading.Lock()
         self._ledger_lock = threading.Lock()
-        self.stats = TrafficStats()
-        self.log: List[Message] = []
+        self.stats = TrafficStats(collapse_pairs=ledger == "summary")
+        self.log = self._new_log()
+        #: Exact count of delivered (recorded) messages per kind, in both
+        #: ledger modes — the summary-mode replacement for deriving
+        #: counts from the full log.
+        self.kind_counts: Counter = Counter()
         self.fault_policy: Optional[FaultPolicy] = None
-        self.fault_log: List[FaultRecord] = []
+        self.fault_log = self._new_log()
+        self._fault_counter: Counter = Counter()
         self.delivery_attempts = 0
         self.retry_count = 0
         self.failed_deliveries = 0
@@ -270,6 +316,12 @@ class Network:
         self._draining = False
         self._sequence = itertools.count()
         self._sequence_lock = threading.Lock()
+
+    def _new_log(self):
+        """A mode-appropriate log container (list or bounded deque)."""
+        if self.ledger == "summary":
+            return deque(maxlen=_SUMMARY_TAIL)
+        return []
 
     @property
     def root(self) -> "Network":
@@ -291,9 +343,14 @@ class Network:
         self.fault_policy = policy
 
     def fault_counts(self) -> Dict[str, int]:
-        """Injected faults by class (``drop``/``corrupt``/... → count)."""
+        """Injected faults by class (``drop``/``corrupt``/... → count).
+
+        Maintained as a running counter, so it is exact in both ledger
+        modes — including summary mode, whose ``fault_log`` keeps only a
+        bounded tail.
+        """
         with self._ledger_lock:
-            return dict(Counter(record.fault for record in self.fault_log))
+            return dict(self._fault_counter)
 
     # -- registry -------------------------------------------------------
     def register(
@@ -360,10 +417,12 @@ class Network:
         with self._ledger_lock:
             self.stats.record(message)
             self.log.append(message)
+            self.kind_counts[message.kind.value] += 1
 
     def _record_fault(self, record: FaultRecord) -> None:
         with self._ledger_lock:
             self.fault_log.append(record)
+            self._fault_counter[record.fault] += 1
 
     def _count_attempt(self) -> None:
         with self._ledger_lock:
@@ -450,15 +509,20 @@ class Network:
                     )
                 self.stats.merge_from(shard.stats)
                 self.log.extend(shard.log)
+                self.kind_counts.update(shard.kind_counts)
                 self.fault_log.extend(shard.fault_log)
+                self._fault_counter.update(shard._fault_counter)
                 for message, _ in shard._delayed:
                     self.fault_log.append(_fault(message, "expired"))
+                    self._fault_counter["expired"] += 1
                 self.delivery_attempts += shard.delivery_attempts
                 self.retry_count += shard.retry_count
                 self.failed_deliveries += shard.failed_deliveries
-                shard.stats = TrafficStats()
-                shard.log = []
-                shard.fault_log = []
+                shard.stats = TrafficStats(collapse_pairs=self.stats.collapse_pairs)
+                shard.log = self._new_log()
+                shard.kind_counts = Counter()
+                shard.fault_log = self._new_log()
+                shard._fault_counter = Counter()
                 shard._delayed = []
                 shard.delivery_attempts = 0
                 shard.retry_count = 0
@@ -467,13 +531,22 @@ class Network:
     # -- inspection -----------------------------------------------------
     def kind_sequence(self) -> List[str]:
         """The ordered kinds of all delivered messages (for conformance tests)."""
+        if self.ledger == "summary":
+            raise RuntimeError(
+                f"kind_sequence() is unavailable on a summary-ledger fabric: "
+                f"the bounded log keeps only the last {_SUMMARY_TAIL} "
+                f"messages — use kind_counts for exact per-kind totals, or "
+                f"build the Network with ledger='full'"
+            )
         return [m.kind.value for m in self.log]
 
     def reset_stats(self) -> None:
         with self._ledger_lock:
-            self.stats = TrafficStats()
-            self.log = []
-            self.fault_log = []
+            self.stats = TrafficStats(collapse_pairs=self.ledger == "summary")
+            self.log = self._new_log()
+            self.kind_counts = Counter()
+            self.fault_log = self._new_log()
+            self._fault_counter = Counter()
             self._delayed = []
             self.delivery_attempts = 0
             self.retry_count = 0
@@ -493,9 +566,13 @@ class NetworkShard:
     def __init__(self, root: Network, owner: str) -> None:
         self.root = root
         self.owner = owner
-        self.stats = TrafficStats()
-        self.log: List[Message] = []
-        self.fault_log: List[FaultRecord] = []
+        # Shard ledgers inherit the root's mode, so a summary-mode
+        # fabric stays bounded during the (pre-merge) edge pipelines too.
+        self.stats = TrafficStats(collapse_pairs=root.stats.collapse_pairs)
+        self.log = root._new_log()
+        self.kind_counts: Counter = Counter()
+        self.fault_log = root._new_log()
+        self._fault_counter: Counter = Counter()
         self.delivery_attempts = 0
         self.retry_count = 0
         self.failed_deliveries = 0
@@ -510,9 +587,11 @@ class NetworkShard:
     def _record(self, message: Message) -> None:
         self.stats.record(message)
         self.log.append(message)
+        self.kind_counts[message.kind.value] += 1
 
     def _record_fault(self, record: FaultRecord) -> None:
         self.fault_log.append(record)
+        self._fault_counter[record.fault] += 1
 
     def _count_attempt(self) -> None:
         self.delivery_attempts += 1
@@ -565,6 +644,11 @@ class NetworkShard:
 
     def kind_sequence(self) -> List[str]:
         """Ordered kinds of this shard's (unmerged) local log."""
+        if self.root.ledger == "summary":
+            raise RuntimeError(
+                "kind_sequence() is unavailable on a summary-ledger "
+                "fabric's shard — use kind_counts"
+            )
         return [m.kind.value for m in self.log]
 
 

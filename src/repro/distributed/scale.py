@@ -1,0 +1,510 @@
+"""Fleet-scale harness: 10⁴–10⁵+ simulated devices on one machine.
+
+The full :class:`~repro.distributed.system.ACMESystem` trains real
+headers on real gradients, which caps a laptop run at tens of devices.
+This module keeps the *protocol* at full fidelity — every model
+distribution, importance upload, personalized-set downlink and ACK is a
+checksummed :class:`~repro.distributed.messages.Message` through the
+:class:`~repro.distributed.network.Network` fabric, with seeded churn
+and drops from the PR-6 :class:`~repro.distributed.faults.FaultPolicy` —
+while replacing the per-device *learning* with seeded synthetic
+importance sets, so the harness measures what actually limits scale:
+
+* **memory** — devices run in lazy mode behind one
+  :class:`~repro.distributed.state_store.DeviceStateLRU` per cluster,
+  so only ``lru_capacity`` headers are live at any instant and the rest
+  sit as compressed cold blobs (``always_live=True`` flips to the
+  eager path the LRU replaces, for the memory comparison);
+* **aggregation** — each edge folds uploads through a
+  :class:`~repro.core.aggregation.StreamingAggregator`: one uniform
+  weight row and one running-sum accumulator per cluster, never an
+  ``(n, R)`` stack;
+* **stragglers** — a per-cluster deadline at the
+  ``deadline_quantile`` of the Eq. (2) latency distribution excludes
+  slow devices from rounds deterministically;
+* **serving** — eval requests queue into a
+  :class:`~repro.train.serving.ServingFront` and ride micro-batched
+  backbone forwards.
+
+Cluster populations are heavy-tailed (Zipf over cluster rank, largest-
+remainder apportionment) — fleet skew, not uniform shards.  Everything
+is seeded: the same :class:`ScaleConfig` replays the identical campaign.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.aggregation import StreamingAggregator
+from repro.data.synthetic import make_cifar100_like
+from repro.distributed.device import DeviceNode
+from repro.distributed.faults import DeliveryError, FaultConfig, FaultPolicy
+from repro.distributed.messages import Message, MessageKind, payload_nbytes
+from repro.distributed.network import Network
+from repro.distributed.state_store import DeviceStateLRU
+from repro.hw.energy import latency
+from repro.hw.profiles import DeviceProfile
+from repro.models.blocks import BlockSpec, HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.models.vit import VisionTransformer, ViTConfig
+from repro.train.serving import ServingFront
+
+
+@dataclass
+class ScaleConfig:
+    """One synthetic fleet campaign, fully determined by its fields."""
+
+    num_devices: int = 10_000
+    num_clusters: int = 8
+    #: Zipf exponent for cluster populations (larger = heavier head).
+    zipf_exponent: float = 1.2
+    #: Length of each synthetic importance set.
+    set_size: int = 64
+    rounds: int = 3
+    #: Live headers per cluster in lazy mode (ignored when always_live).
+    lru_capacity: int = 64
+    #: Eager per-device state, as before the LRU existed.  Only sane at
+    #: small ``num_devices``; exists for the memory comparison.
+    always_live: bool = False
+    #: Serving requests sampled per cluster per round.
+    eval_requests: int = 8
+    micro_batch: int = 16
+    #: Deadline at this quantile of the cluster's latency distribution;
+    #: 1.0 disables (every device is on time).
+    deadline_quantile: float = 1.0
+    churn: float = 0.0
+    drop: float = 0.0
+    retries: int = 2
+    #: Network ledger mode: "summary" bounds log/stats memory at scale.
+    ledger: str = "summary"
+    samples_per_class: int = 6
+    seed: int = 0
+
+
+def heavy_tailed_sizes(
+    num_devices: int, num_clusters: int, exponent: float = 1.2
+) -> List[int]:
+    """Zipf cluster populations via largest-remainder apportionment.
+
+    Cluster ``k`` (1-indexed) gets a share proportional to
+    ``k**-exponent``; floors are topped up by descending fractional
+    remainder so the sizes sum exactly to ``num_devices`` and every
+    cluster keeps at least one device.
+    """
+    if num_clusters < 1:
+        raise ValueError(f"need at least one cluster, got {num_clusters}")
+    if num_devices < num_clusters:
+        raise ValueError(
+            f"{num_devices} devices cannot populate {num_clusters} clusters"
+        )
+    ranks = np.arange(1, num_clusters + 1, dtype=np.float64)
+    weights = ranks**-float(exponent)
+    shares = weights / weights.sum() * num_devices
+    sizes = np.maximum(np.floor(shares).astype(int), 1)
+    order = np.argsort(-(shares - np.floor(shares)))
+    i = 0
+    while sizes.sum() < num_devices:
+        sizes[order[i % num_clusters]] += 1
+        i += 1
+    while sizes.sum() > num_devices:
+        big = int(np.argmax(sizes))
+        sizes[big] -= 1
+    return [int(s) for s in sizes]
+
+
+class ScaleDevice(DeviceNode):
+    """Protocol-faithful device with synthetic local computation.
+
+    Inherits the full lazy-state machinery (hydrate/evict/LRU) and wire
+    behavior of :class:`DeviceNode`; only the *learning* is replaced:
+
+    * :meth:`importance_round` touches the LRU (hydration is the real,
+      measured per-device work at scale) and uploads a seeded random
+      set — a pure function of ``(seed, device_id, round_index)``;
+    * :meth:`_receive_personalized_set` records the downlink instead of
+      pruning, because synthetic sets are not aligned to header
+      parameters.  The wire exchange (payload + ACK) is unchanged.
+    """
+
+    def __init__(self, *args, set_size: int = 64, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.set_size = int(set_size)
+        self.personalized_rounds = 0
+        self.last_personalized: Optional[np.ndarray] = None
+
+    def importance_round(
+        self, include_feature_sample: bool = False, round_index: int = 0
+    ) -> Message:
+        self._ensure_live()
+        rng = np.random.default_rng(
+            [max(self.seed, 0), self.profile.device_id, round_index]
+        )
+        q = rng.standard_normal(self.set_size).astype(np.float32)
+        return self.build_importance_message(q, include_feature_sample)
+
+    def _receive_personalized_set(self, message: Message) -> Message:
+        assert self.has_model, "model must be distributed first"
+        self.last_personalized = message.payload["importance"]
+        self.personalized_rounds += 1
+        return Message(self.name, message.sender, MessageKind.ACK)
+
+
+class ScaleCluster:
+    """One edge plus its device population, driven round by round."""
+
+    def __init__(
+        self,
+        index: int,
+        size: int,
+        first_device_id: int,
+        network: Network,
+        config: ScaleConfig,
+    ) -> None:
+        self.index = index
+        self.config = config
+        self.network = network
+        self.name = f"edge{index}"
+        network.register(self.name, self._handle)
+        self.store = (
+            None if config.always_live else DeviceStateLRU(config.lru_capacity)
+        )
+
+        # One tiny model template and ONE dataset object per cluster;
+        # devices alias both, so fleet memory is dominated by per-device
+        # header state — exactly what the LRU is there to bound.
+        vit = ViTConfig(
+            image_size=8,
+            patch_size=4,
+            embed_dim=16,
+            depth=2,
+            num_heads=2,
+            mlp_ratio=2.0,
+            num_classes=4,
+        )
+        self.vit_config = vit
+        generator = make_cifar100_like(
+            num_classes=vit.num_classes, image_size=vit.image_size,
+            seed=config.seed + index,
+        )
+        self.dataset = generator.generate(
+            config.samples_per_class, seed=config.seed + 1, name=self.name
+        )
+        backbone = VisionTransformer(vit, seed=0)
+        head_orders = [np.arange(vit.num_heads) for _ in range(vit.depth)]
+        neuron_orders = [np.arange(vit.mlp_hidden) for _ in range(vit.depth)]
+        backbone.set_importance_orders(
+            head_orders=head_orders, neuron_orders=neuron_orders
+        )
+        backbone.scale(1.0, vit.depth)
+        self.backbone = backbone
+        spec = HeaderSpec(blocks=(BlockSpec(0, 1, 1, 3),))
+        template_header = DAGHeader(
+            vit.embed_dim,
+            vit.num_patches,
+            vit.num_classes,
+            spec,
+            rng=np.random.default_rng(config.seed),
+        )
+        self.payload = {
+            "vit_config": vit,
+            "backbone_state": backbone.state_dict(),
+            "head_orders": head_orders,
+            "neuron_orders": neuron_orders,
+            "width": 1.0,
+            "depth": vit.depth,
+            "header_spec": spec,
+            "header_state": template_header.state_dict(),
+            "keep_fraction": 0.7,
+        }
+        #: Computed once — 10⁵ per-message payload walks would dominate
+        #: distribution time without changing a single recorded byte.
+        self.payload_nbytes = payload_nbytes(self.payload)
+
+        profile_rng = np.random.default_rng([max(config.seed, 0), 13, index])
+        self.devices: List[ScaleDevice] = []
+        for slot in range(size):
+            device_id = first_device_id + slot
+            profile = DeviceProfile.synthesize(
+                device_id,
+                vcpus=3 + (index + slot) % 5,
+                storage_limit=300_000,
+                rng=profile_rng,
+                num_patches=vit.num_patches,
+            )
+            self.devices.append(
+                ScaleDevice(
+                    profile,
+                    self.dataset,
+                    network,
+                    seed=config.seed + device_id,
+                    state_store=self.store,
+                    set_size=config.set_size,
+                )
+            )
+        self._index = {
+            d.profile.device_id: i for i, d in enumerate(self.devices)
+        }
+        self._lat = {
+            d.profile.device_id: latency(d.profile, 1.0, vit.depth)
+            for d in self.devices
+        }
+        self.deadline: Optional[float] = None
+        if config.deadline_quantile < 1.0:
+            self.deadline = float(
+                np.quantile(
+                    np.array(list(self._lat.values())), config.deadline_quantile
+                )
+            )
+        self.front = ServingFront(backbone, micro_batch=config.micro_batch)
+        self._agg: Optional[StreamingAggregator] = None
+        self.participation: List[float] = []
+        self.stragglers = 0
+        self.carried = 0
+        self.failed_deliveries = 0
+
+    # ------------------------------------------------------------------
+    def _handle(self, message: Message) -> Optional[Message]:
+        if message.kind is MessageKind.IMPORTANCE_SET:
+            assert self._agg is not None, "upload outside an open round"
+            col = self._index[int(message.payload["device_id"])]
+            self._agg.consume(col, message.payload["importance"])
+            return None
+        raise ValueError(f"{self.name} cannot handle {message.kind}")
+
+    def distribute(self) -> int:
+        """Phase-2 model distribution; returns devices provisioned."""
+        provisioned = 0
+        for device in self.devices:
+            message = Message(
+                self.name,
+                device.name,
+                MessageKind.MODEL_DISTRIBUTION,
+                self.payload,
+                nbytes=self.payload_nbytes,
+            )
+            try:
+                self.network.send_reliable(message)
+                provisioned += 1
+            except DeliveryError:
+                self.failed_deliveries += 1
+        return provisioned
+
+    def run_round(self, round_index: int, policy: Optional[FaultPolicy]) -> int:
+        """One aggregation round; returns device contributions folded in."""
+        if policy is not None:
+            for device in self.devices:
+                if policy.device_active(device.profile.device_id, round_index):
+                    device.reactivate()
+                else:
+                    device.deactivate()
+        participants = [
+            d for d in self.devices if d.active and d.has_model
+        ]
+        if self.deadline is not None:
+            on_time = [
+                d
+                for d in participants
+                if self._lat[d.profile.device_id] <= self.deadline
+            ]
+        else:
+            on_time = participants
+        self.stragglers += len(participants) - len(on_time)
+        n = len(self.devices)
+        if not on_time:
+            self.participation.append(0.0)
+            return 0
+
+        # O(1)-memory aggregation: one uniform weight row over the full
+        # membership; the cols subset masks + renormalizes it to the
+        # devices that made the deadline.  Sets are folded into the
+        # running sum straight from the delivery handler and never
+        # stacked.
+        cols = [self._index[d.profile.device_id] for d in on_time]
+        self._agg = StreamingAggregator(
+            np.full((1, n), 1.0 / n), rows=None, cols=cols
+        )
+        for device in on_time:
+            message = device.importance_round(round_index=round_index)
+            message.receiver = self.name
+            try:
+                self.network.send_reliable(message)
+            except DeliveryError:
+                # Retry budget exhausted: model the edge's degraded-mode
+                # re-poll (the device's cached upload eventually lands)
+                # by folding the set in out of band.  The dropped
+                # attempts stay on the fault ledger.
+                self._agg.consume(
+                    self._index[device.profile.device_id],
+                    message.payload["importance"],
+                )
+                self.carried += 1
+        personalized = self._agg.finalize()[0]
+        self._agg = None
+
+        down_payload = {"importance": personalized.astype(np.float32)}
+        down_nbytes = payload_nbytes(down_payload)
+        for device in on_time:
+            message = Message(
+                self.name,
+                device.name,
+                MessageKind.PERSONALIZED_SET,
+                down_payload,
+                nbytes=down_nbytes,
+            )
+            try:
+                self.network.send_reliable(message)
+            except DeliveryError:
+                self.failed_deliveries += 1
+        self.participation.append(len(on_time) / n)
+        return len(on_time)
+
+    def serve(self, round_index: int) -> int:
+        """Queue + flush one round's eval requests; returns served count."""
+        count = min(self.config.eval_requests, len(self.devices))
+        if count == 0:
+            return 0
+        rng = np.random.default_rng(
+            [max(self.config.seed, 0), 97, self.index, round_index]
+        )
+        picks = sorted(
+            int(p) for p in rng.choice(len(self.devices), count, replace=False)
+        )
+        tickets = []
+        for i in picks:
+            device = self.devices[i]
+            if not (device.active and device.has_model):
+                continue
+            device._ensure_live()
+            # The front holds the header reference, so a later touch in
+            # this loop evicting the device cannot invalidate the queue.
+            tickets.append(
+                self.front.submit(device.header, device.eval_dataset())
+            )
+        self.front.flush()
+        for ticket in tickets:
+            self.front.result(ticket)
+        return len(tickets)
+
+
+@dataclass
+class ScaleReport:
+    """Everything a campaign measured, JSON-ready via :meth:`to_dict`."""
+
+    num_devices: int
+    cluster_sizes: List[int]
+    rounds: int
+    contributions: int
+    round_seconds: float
+    devices_per_round_second: float
+    eval_requests_served: int
+    serving_seconds: float
+    requests_per_second: float
+    participation: float
+    stragglers: int
+    carried: int
+    failed_deliveries: int
+    hydrations: int
+    evictions: int
+    live_headers: int
+    peak_memory_mb: Optional[float]
+    total_megabytes: float
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_scale_campaign(
+    config: Optional[ScaleConfig] = None, measure_memory: bool = False
+) -> ScaleReport:
+    """Build the fleet, run every round and serving wave, report.
+
+    With ``measure_memory=True`` the whole campaign — fleet construction
+    included — runs under :mod:`tracemalloc` and the report carries the
+    peak traced size in MiB (roughly 2× slower; leave it off when
+    measuring throughput).
+    """
+    cfg = config or ScaleConfig()
+    if measure_memory:
+        tracemalloc.start()
+    try:
+        network = Network(ledger=cfg.ledger)
+        policy: Optional[FaultPolicy] = None
+        if cfg.drop > 0.0 or cfg.churn > 0.0:
+            policy = FaultPolicy(
+                FaultConfig(
+                    seed=cfg.seed,
+                    drop=cfg.drop,
+                    churn=cfg.churn,
+                    retries=cfg.retries,
+                )
+            )
+            network.install_fault_policy(policy)
+
+        sizes = heavy_tailed_sizes(
+            cfg.num_devices, cfg.num_clusters, cfg.zipf_exponent
+        )
+        clusters: List[ScaleCluster] = []
+        first_device_id = 0
+        for index, size in enumerate(sizes):
+            clusters.append(
+                ScaleCluster(index, size, first_device_id, network, cfg)
+            )
+            first_device_id += size
+        for cluster in clusters:
+            cluster.distribute()
+
+        start = time.perf_counter()
+        contributions = 0
+        for round_index in range(cfg.rounds):
+            for cluster in clusters:
+                contributions += cluster.run_round(round_index, policy)
+        round_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        served = 0
+        for round_index in range(cfg.rounds):
+            for cluster in clusters:
+                served += cluster.serve(round_index)
+        serving_seconds = time.perf_counter() - start
+
+        peak_mb: Optional[float] = None
+        if measure_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            peak_mb = peak / 2**20
+    finally:
+        if measure_memory:
+            tracemalloc.stop()
+
+    rates = [p for c in clusters for p in c.participation]
+    stores = [c.store for c in clusters if c.store is not None]
+    return ScaleReport(
+        num_devices=cfg.num_devices,
+        cluster_sizes=sizes,
+        rounds=cfg.rounds,
+        contributions=contributions,
+        round_seconds=round_seconds,
+        devices_per_round_second=contributions / max(round_seconds, 1e-9),
+        eval_requests_served=served,
+        serving_seconds=serving_seconds,
+        requests_per_second=served / max(serving_seconds, 1e-9),
+        participation=float(np.mean(rates)) if rates else 0.0,
+        stragglers=sum(c.stragglers for c in clusters),
+        carried=sum(c.carried for c in clusters),
+        failed_deliveries=sum(c.failed_deliveries for c in clusters),
+        hydrations=sum(s.hydrations for s in stores),
+        evictions=sum(s.evictions for s in stores),
+        live_headers=sum(
+            1 for c in clusters for d in c.devices if d.header is not None
+        ),
+        peak_memory_mb=peak_mb,
+        total_megabytes=network.stats.total_megabytes(),
+        kind_counts=dict(network.kind_counts),
+        fault_counts=network.fault_counts(),
+    )

@@ -1,0 +1,245 @@
+"""Lazy per-device state with LRU eviction — the fleet-scale memory model.
+
+An always-live :class:`~repro.distributed.device.DeviceNode` holds a
+full :class:`~repro.models.vit.VisionTransformer` and a
+:class:`~repro.models.header_dag.DAGHeader` from the moment the model
+distribution arrives; at 10⁴–10⁶ registered devices that is the memory
+bill that makes fleet-scale simulation impossible.  This module keeps a
+bounded working set instead:
+
+* :class:`DeviceStateLRU` — a capacity-bounded LRU of *live* devices.
+  Touching a cold device hydrates it (building its header on first
+  touch, or restoring an evicted snapshot); exceeding the capacity
+  evicts the least-recently-used device to a compact serialized blob
+  (:func:`repro.nn.serialization.state_to_bytes`, the in-memory ``npz``
+  path — bit-exact array round-trip).
+* One **shared backbone per model payload**: every device in an ACME
+  cluster receives the same frozen ``backbone_state``, so the store
+  materializes a single :class:`VisionTransformer` per distribution
+  payload and lends it to whichever devices are live.  Backbones are
+  read-only during the single loop, and the engine's kernels are
+  deterministic per input, so sharing is bit-for-bit equivalent to the
+  per-device instances of the always-live path.
+
+Snapshot contents cover everything mutable on a device: header
+parameters (masked values), the prune mask and its pristine copies, the
+cached frozen-feature sample, and — for training loops that persist an
+optimizer across the eviction point — fused/reference Adam moments via
+:func:`export_adam_state` / :func:`import_adam_state`.  Parity is
+asserted bit-for-bit in ``tests/distributed/test_state_store.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.models.vit import VisionTransformer
+from repro.nn.optim import Adam
+from repro.nn.serialization import state_from_bytes, state_to_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.header_dag import DAGHeader
+
+__all__ = [
+    "DeviceStateLRU",
+    "snapshot_header",
+    "restore_header",
+    "export_adam_state",
+    "import_adam_state",
+]
+
+_PARAM = "param."
+_MASK = "mask."
+_PRISTINE = "pristine."
+
+
+def snapshot_header(header: "DAGHeader") -> Dict[str, np.ndarray]:
+    """Everything mutable on a header, as a flat array dict.
+
+    Captures the current (possibly masked) parameter values plus the
+    prune-mask state :meth:`DAGHeader.set_parameter_mask` maintains —
+    the boolean masks *and* the pristine pre-mask copies, which later
+    re-masks compose from.  Restoring all three reproduces the header's
+    observable behavior bit-for-bit, including future ``reapply_mask``
+    and re-prune calls.
+    """
+    state = {_PARAM + name: value for name, value in header.state_dict().items()}
+    if header._parameter_mask is not None:
+        for name, mask in header._parameter_mask.items():
+            state[_MASK + name] = mask
+    if header._pristine is not None:
+        for name, pristine in header._pristine.items():
+            state[_PRISTINE + name] = pristine
+    return state
+
+
+def restore_header(header: "DAGHeader", state: Dict[str, np.ndarray]) -> None:
+    """Load a :func:`snapshot_header` dict into a freshly built header."""
+    params = {
+        key[len(_PARAM):]: value
+        for key, value in state.items()
+        if key.startswith(_PARAM)
+    }
+    header.load_state_dict(params)
+    masks = {
+        key[len(_MASK):]: value.astype(bool)
+        for key, value in state.items()
+        if key.startswith(_MASK)
+    }
+    pristine = {
+        key[len(_PRISTINE):]: value
+        for key, value in state.items()
+        if key.startswith(_PRISTINE)
+    }
+    header._parameter_mask = masks or None
+    header._pristine = pristine or None
+
+
+def export_adam_state(optimizer: Adam) -> Dict[str, np.ndarray]:
+    """Adam moments + step count as arrays, in ``optimizer.params`` order.
+
+    Reads whichever storage is authoritative — the fused flat-group
+    state views when groups exist, else the reference ``_m``/``_v``
+    dicts — so a snapshot taken mid-training captures exactly what the
+    next ``step()`` would have used.  Never-stepped parameters export
+    their zero-initialized moments.
+    """
+    if not isinstance(optimizer, Adam):
+        raise TypeError(
+            f"optimizer state capsule supports Adam, got {type(optimizer).__name__}"
+        )
+    views: Dict[int, List[np.ndarray]] = {}
+    if optimizer._flat_groups is not None:
+        for group in optimizer._flat_groups:
+            views.update(group.carried_state())
+    state: Dict[str, np.ndarray] = {"t": np.asarray(optimizer._t, dtype=np.int64)}
+    for i, p in enumerate(optimizer.params):
+        carried = views.get(id(p))
+        if carried is not None:
+            m, v = carried[0], carried[1]
+        else:
+            m = optimizer._m.get(id(p))
+            v = optimizer._v.get(id(p))
+            if m is None or v is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+        state[f"m.{i}"] = np.array(m, copy=True)
+        state[f"v.{i}"] = np.array(v, copy=True)
+    return state
+
+
+def import_adam_state(optimizer: Adam, state: Dict[str, np.ndarray]) -> None:
+    """Restore :func:`export_adam_state` into a freshly built Adam.
+
+    The optimizer must already be bound to the restored module's
+    parameters, in the same order as at export.  For a fused optimizer
+    the flat groups are force-built and the moments copied into their
+    state views — from where a later ``Module.astype`` rebuild carries
+    (and casts) them exactly like never-evicted state (the PR 5 rebind
+    path); for a reference optimizer the ``_m``/``_v`` dicts are filled.
+    """
+    if not isinstance(optimizer, Adam):
+        raise TypeError(
+            f"optimizer state capsule supports Adam, got {type(optimizer).__name__}"
+        )
+    optimizer._t = int(state["t"])
+    if optimizer.fused:
+        if optimizer._flat_groups is None:
+            optimizer._flat_groups = optimizer._build_groups()
+        index_of = {id(p): i for i, p in enumerate(optimizer.params)}
+        for group in optimizer._flat_groups:
+            for j, p in enumerate(group.params):
+                i = index_of[id(p)]
+                np.copyto(group.state_views[0][j], state[f"m.{i}"], casting="unsafe")
+                np.copyto(group.state_views[1][j], state[f"v.{i}"], casting="unsafe")
+    else:
+        for i, p in enumerate(optimizer.params):
+            optimizer._m[id(p)] = np.array(state[f"m.{i}"], copy=True)
+            optimizer._v[id(p)] = np.array(state[f"v.{i}"], copy=True)
+
+
+class DeviceStateLRU:
+    """Capacity-bounded working set of live devices for one cluster.
+
+    Owners implement the hydration protocol — ``_hydrate()`` (build or
+    restore live state) and ``_evict()`` (serialize to a cold blob and
+    drop live references) — and call :meth:`touch` before using their
+    model state.  The store is deliberately single-threaded: lazy
+    clusters run their device fan-outs serially (the edge enforces it),
+    because a concurrent hydration could evict a peer mid-use.
+    """
+
+    def __init__(self, capacity: int, compress: bool = False) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        #: Whether cold blobs are zlib-compressed.  Header parameters are
+        #: high-entropy float64, so compression recovers only a few
+        #: percent while costing ~5× the serialization time — off by
+        #: default; flip it for low-entropy state (e.g. heavily masked
+        #: headers, integer-quantized params).
+        self.compress = bool(compress)
+        self._live: "OrderedDict[str, object]" = OrderedDict()
+        #: One shared backbone per distribution payload, keyed by the
+        #: identity of the payload's ``backbone_state`` dict (kept
+        #: strongly referenced alongside, so the id cannot be recycled).
+        self._backbones: Dict[int, tuple] = {}
+        self.hydrations = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def touch(self, owner) -> None:
+        """Mark ``owner`` most-recently-used, hydrating it if cold.
+
+        Hydration beyond capacity evicts the least-recently-used live
+        device first-in-first-out until the bound holds again.
+        """
+        key = owner.name
+        if key in self._live:
+            self._live.move_to_end(key)
+            return
+        owner._hydrate()
+        self.hydrations += 1
+        self._live[key] = owner
+        while len(self._live) > self.capacity:
+            _, cold = self._live.popitem(last=False)
+            cold._evict()
+            self.evictions += 1
+
+    def drop(self, owner) -> None:
+        """Forget a live entry without snapshotting (state superseded)."""
+        self._live.pop(owner.name, None)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def is_live(self, owner) -> bool:
+        return owner.name in self._live
+
+    # ------------------------------------------------------------------
+    def shared_backbone(self, payload: Dict) -> VisionTransformer:
+        """The single backbone instance for a distribution payload.
+
+        Built exactly like :meth:`DeviceNode._receive_model` builds its
+        per-device instance — same seed, state dict, importance orders
+        and scaling — so forwards through the shared instance are
+        bit-identical to the always-live path's.
+        """
+        backbone_state = payload["backbone_state"]
+        key = id(backbone_state)
+        cached = self._backbones.get(key)
+        if cached is not None:
+            return cached[0]
+        backbone = VisionTransformer(payload["vit_config"], seed=0)
+        backbone.load_state_dict(backbone_state)
+        backbone.set_importance_orders(
+            head_orders=payload["head_orders"],
+            neuron_orders=payload["neuron_orders"],
+        )
+        backbone.scale(payload["width"], payload["depth"])
+        self._backbones[key] = (backbone, backbone_state)
+        return backbone

@@ -36,6 +36,7 @@ from repro.distributed.faults import FaultConfig, FaultPolicy
 from repro.distributed.messages import Message, MessageKind
 from repro.distributed.metrics import centralized_upload_bytes, relative_upload
 from repro.distributed.network import Network, NetworkShard, TrafficStats
+from repro.distributed.state_store import DeviceStateLRU
 from repro.hw.profiles import DeviceProfile, make_fleet
 from repro.models.vit import ViTConfig, VisionTransformer
 
@@ -115,6 +116,16 @@ class ACMEConfig:
     #: results (tests/distributed/test_chaos.py); pair with
     #: ``edge.round_quorum < 1.0`` for partial-round aggregation.
     fault_config: Optional[FaultConfig] = None
+    #: Lazy per-device state: when set, each cluster gets a
+    #: :class:`~repro.distributed.state_store.DeviceStateLRU` of this
+    #: capacity and its devices materialize headers on first touch,
+    #: sharing one backbone instance per distribution payload and
+    #: evicting cold per-device state (header params, prune-mask state,
+    #: cached feature samples) to compact serialized blobs.  Memory per
+    #: cluster is bounded by the capacity instead of the cluster size;
+    #: every path is bit-for-bit identical to the always-live default
+    #: (``None``) — tested in tests/distributed/test_state_store.py.
+    device_state_capacity: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -302,6 +313,11 @@ class ACMESystem:
         self.edges: List[EdgeServer] = []
         device_index = 0
         for cluster_idx, profiles in enumerate(self.fleet):
+            store = (
+                DeviceStateLRU(cfg.device_state_capacity)
+                if cfg.device_state_capacity is not None
+                else None
+            )
             devices = []
             local_sets = []
             for profile in profiles:
@@ -315,6 +331,7 @@ class ACMESystem:
                         test_dataset=self.device_test_sets[device_index],
                         importance_config=cfg.device_importance,
                         seed=cfg.seed + profile.device_id,
+                        state_store=store,
                     )
                 )
                 device_index += 1

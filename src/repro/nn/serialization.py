@@ -68,3 +68,29 @@ def compressed_nbytes(state: Dict[str, np.ndarray], level: int = 6) -> int:
     buffer = io.BytesIO()
     np.savez(buffer, **state)
     return len(zlib.compress(buffer.getvalue(), level))
+
+
+def state_to_bytes(state: Dict[str, np.ndarray], compress: bool = True) -> bytes:
+    """Serialize an array dict to an in-memory ``.npz`` blob.
+
+    The compact form the device-state LRU
+    (:mod:`repro.distributed.state_store`) evicts cold per-device state
+    into: the ``npz`` container round-trips every array bit-exactly
+    (dtype, shape and payload), so rehydration reproduces the live
+    state to the bit.  ``compress=True`` uses the deflated container;
+    high-entropy float parameters deflate by only a few percent at ~5×
+    the serialization time, so the LRU store defaults to the raw form
+    (its ``compress`` flag flips this per cluster).
+    """
+    buffer = io.BytesIO()
+    if compress:
+        np.savez_compressed(buffer, **state)
+    else:
+        np.savez(buffer, **state)
+    return buffer.getvalue()
+
+
+def state_from_bytes(blob: bytes) -> Dict[str, np.ndarray]:
+    """Deserialize a :func:`state_to_bytes` blob back to an array dict."""
+    with np.load(io.BytesIO(blob)) as archive:
+        return {name: archive[name] for name in archive.files}

@@ -29,7 +29,8 @@ to the unbatched path via
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -260,5 +261,81 @@ def batched_evaluate_headers(
             }
         )
     return results
+
+
+class ServingFront:
+    """Queue + micro-batcher for concurrent eval requests on one backbone.
+
+    The scale harness's serving story: instead of each caller running its
+    own forward the moment it needs an evaluation, requests are
+    :meth:`submit`-ted into a FIFO queue and drained by :meth:`flush` in
+    ``micro_batch``-sized groups, each group riding one
+    :func:`batched_evaluate_headers` call (one shared backbone forward
+    per round).  Row-independence makes every grouping bit-identical to
+    per-request :func:`~repro.train.evaluate.evaluate_header` — asserted
+    in ``tests/train/test_serving.py``.
+
+    ``submit`` is thread-safe (callers may enqueue from worker threads);
+    ``flush`` runs on whichever thread drives the serving loop.  The
+    queue holds the header/dataset references it was given, so a header
+    that a :class:`~repro.distributed.state_store.DeviceStateLRU` later
+    evicts stays alive for its pending request.
+    """
+
+    def __init__(
+        self, backbone: Module, micro_batch: int = 16, batch_size: int = 64
+    ) -> None:
+        if micro_batch < 1:
+            raise ValueError(f"micro_batch must be >= 1, got {micro_batch}")
+        self.backbone = backbone
+        self.micro_batch = int(micro_batch)
+        self.batch_size = int(batch_size)
+        self._lock = threading.Lock()
+        self._queue: List[Tuple[int, Module, ArrayDataset]] = []
+        self._results: Dict[int, dict] = {}
+        self._next_ticket = 0
+        self.requests_served = 0
+        self.flushes = 0
+        self.max_queue_depth = 0
+
+    def submit(self, header: Module, dataset: ArrayDataset) -> int:
+        """Enqueue one eval request; returns its ticket."""
+        with self._lock:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._queue.append((ticket, header, dataset))
+            self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def flush(self) -> List[int]:
+        """Serve every queued request; returns the tickets served in order."""
+        with self._lock:
+            drained, self._queue = self._queue, []
+        served: List[int] = []
+        for start in range(0, len(drained), self.micro_batch):
+            group = drained[start : start + self.micro_batch]
+            outcomes = batched_evaluate_headers(
+                self.backbone,
+                [header for _t, header, _d in group],
+                [dataset for _t, _h, dataset in group],
+                batch_size=self.batch_size,
+            )
+            self.flushes += 1
+            for (ticket, _h, _d), outcome in zip(group, outcomes):
+                self._results[ticket] = outcome
+                served.append(ticket)
+        self.requests_served += len(served)
+        return served
+
+    def result(self, ticket: int) -> dict:
+        """The outcome for a served ticket (flush first); pops the entry."""
+        if ticket not in self._results:
+            raise KeyError(f"ticket {ticket} not served yet — call flush()")
+        return self._results.pop(ticket)
 
 

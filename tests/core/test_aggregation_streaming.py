@@ -1,0 +1,199 @@
+"""Streaming aggregation parity: one-at-a-time == batch, bit for bit.
+
+:class:`repro.core.aggregation.StreamingAggregator` consumes importance
+messages into a running-sum accumulator instead of stacking an ``(n, R)``
+matrix.  Its contract is *bit-for-bit* float64 equality with the batch
+paths — ``aggregate_importance_sets`` for full rounds and
+``aggregate_importance_subset`` for quorum/carry-forward rounds — because
+all of them funnel the arithmetic through the same sequential kernel.
+A seeded fuzz sweep hammers the contract across random member counts,
+weight matrices, subsets and arrival orders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    StreamingAggregator,
+    aggregate_importance_sets,
+    aggregate_importance_subset,
+    aggregation_weights,
+)
+
+
+def _random_instance(rng, n=None, length=None):
+    n = n or int(rng.integers(1, 9))
+    length = length or int(rng.integers(1, 33))
+    sets = [rng.standard_normal(length) * rng.uniform(0.1, 10) for _ in range(n)]
+    raw = rng.uniform(0.01, 1.0, size=(n, n))
+    weights = raw / raw.sum(axis=1, keepdims=True)
+    return sets, weights
+
+
+class TestFullRound:
+    def test_matches_batch_bitwise(self):
+        rng = np.random.default_rng(0)
+        sets, weights = _random_instance(rng, n=6, length=24)
+        expected = aggregate_importance_sets(sets, weights)
+        agg = StreamingAggregator(weights)
+        for i, q in enumerate(sets):
+            agg.consume(i, q)
+        for got, want in zip(agg.finalize(), expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_average_weights_path(self):
+        """The edge's uniform weight construction, not just random rows."""
+        rng = np.random.default_rng(1)
+        sets, _ = _random_instance(rng, n=5, length=16)
+        weights = aggregation_weights("average", 5)
+        expected = aggregate_importance_sets(sets, weights)
+        agg = StreamingAggregator(weights)
+        for i, q in enumerate(sets):
+            agg.consume(i, q)
+        for got, want in zip(agg.finalize(), expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_singleton_stream(self):
+        agg = StreamingAggregator(np.array([[1.0]]))
+        agg.consume(0, np.array([3.0, 1.0, 4.0]))
+        np.testing.assert_array_equal(agg.finalize()[0], [3.0, 1.0, 4.0])
+
+    def test_float32_uploads_are_widened(self):
+        """Wire-format float32 sets aggregate exactly like the batch path."""
+        rng = np.random.default_rng(2)
+        sets32 = [
+            rng.standard_normal(8).astype(np.float32) for _ in range(4)
+        ]
+        weights = np.full((4, 4), 0.25)
+        expected = aggregate_importance_sets(sets32, weights)
+        agg = StreamingAggregator(weights)
+        for i, q in enumerate(sets32):
+            agg.consume(i, q)
+        for got, want in zip(agg.finalize(), expected):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestSubsetRound:
+    def test_matches_batch_subset_bitwise(self):
+        rng = np.random.default_rng(3)
+        sets, weights = _random_instance(rng, n=7, length=12)
+        cols = [5, 0, 3]  # arrival order, deliberately not sorted
+        rows = [1, 4, 6]
+        expected = aggregate_importance_subset(
+            [sets[c] for c in cols], weights, rows=rows, cols=cols
+        )
+        agg = StreamingAggregator(weights, rows=rows, cols=cols)
+        for c in cols:
+            agg.consume(c, sets[c])
+        for got, want in zip(agg.finalize(), expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_presliced_rows_equal_square_plus_rows(self):
+        """The O(rows·n) form a million-device edge passes."""
+        rng = np.random.default_rng(4)
+        sets, weights = _random_instance(rng, n=6, length=10)
+        cols = [2, 4, 1]
+        rows = [0, 3]
+        via_square = StreamingAggregator(weights, rows=rows, cols=cols)
+        via_block = StreamingAggregator(weights[np.asarray(rows)], cols=cols)
+        for c in cols:
+            via_square.consume(c, sets[c])
+            via_block.consume(c, sets[c])
+        for got, want in zip(via_block.finalize(), via_square.finalize()):
+            np.testing.assert_array_equal(got, want)
+
+    def test_zero_weight_row_falls_back_to_uniform(self):
+        """A row with no mass on present members matches the batch rule."""
+        weights = np.array(
+            [[1.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.0, 0.0, 1.0]]
+        )
+        sets = [np.array([1.0]), np.array([2.0]), np.array([4.0])]
+        cols = [1, 2]
+        expected = aggregate_importance_subset(
+            [sets[c] for c in cols], weights, rows=[0, 1, 2], cols=cols
+        )
+        agg = StreamingAggregator(weights, rows=[0, 1, 2], cols=cols)
+        for c in cols:
+            agg.consume(c, sets[c])
+        for got, want in zip(agg.finalize(), expected):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestContract:
+    def test_out_of_order_consume_raises(self):
+        agg = StreamingAggregator(np.full((2, 2), 0.5), cols=[0, 1])
+        with pytest.raises(ValueError, match="out-of-order"):
+            agg.consume(1, np.ones(4))
+
+    def test_overconsume_raises(self):
+        agg = StreamingAggregator(np.array([[1.0]]))
+        agg.consume(0, np.ones(2))
+        with pytest.raises(ValueError, match="complete"):
+            agg.consume(0, np.ones(2))
+
+    def test_incomplete_finalize_raises(self):
+        agg = StreamingAggregator(np.full((2, 2), 0.5))
+        agg.consume(0, np.ones(3))
+        with pytest.raises(ValueError, match="incomplete"):
+            agg.finalize()
+
+    def test_empty_cols_raises(self):
+        with pytest.raises(ValueError, match="empty round"):
+            StreamingAggregator(np.full((2, 2), 0.5), cols=[])
+
+    def test_length_mismatch_raises(self):
+        agg = StreamingAggregator(np.full((2, 2), 0.5))
+        agg.consume(0, np.ones(3))
+        with pytest.raises(ValueError, match="length"):
+            agg.consume(1, np.ones(5))
+
+    def test_non_stochastic_square_raises(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            StreamingAggregator(np.ones((3, 3)))
+
+    def test_rows_with_presliced_block_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            StreamingAggregator(np.full((1, 3), 1 / 3), rows=[0])
+
+
+class TestSeededFuzz:
+    """Randomized equivalence sweep — the property-based layer for Eq. 21."""
+
+    def test_full_round_fuzz(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(25):
+            sets, weights = _random_instance(rng)
+            expected = aggregate_importance_sets(sets, weights)
+            agg = StreamingAggregator(weights)
+            for i, q in enumerate(sets):
+                agg.consume(i, q)
+            got = agg.finalize()
+            assert len(got) == len(expected)
+            for g, w in zip(got, expected):
+                np.testing.assert_array_equal(g, w)
+
+    def test_subset_round_fuzz(self):
+        rng = np.random.default_rng(5678)
+        for _ in range(25):
+            sets, weights = _random_instance(rng)
+            n = len(sets)
+            k = int(rng.integers(1, n + 1))
+            cols = list(rng.permutation(n)[:k])  # random arrival order
+            r = int(rng.integers(1, n + 1))
+            rows = sorted(int(x) for x in rng.permutation(n)[:r])
+            expected = aggregate_importance_subset(
+                [sets[c] for c in cols], weights, rows=rows, cols=cols
+            )
+            agg = StreamingAggregator(weights, rows=rows, cols=cols)
+            for c in cols:
+                agg.consume(c, sets[c])
+            got = agg.finalize()
+            assert len(got) == len(rows)
+            for g, w in zip(got, expected):
+                np.testing.assert_array_equal(g, w)
+            # Every output stays a convex combination of what arrived:
+            # within the envelope of the present members' values.
+            present = np.stack([np.asarray(sets[c], dtype=np.float64) for c in cols])
+            for g in got:
+                assert np.all(g <= present.max(axis=0) + 1e-12)
+                assert np.all(g >= present.min(axis=0) - 1e-12)

@@ -1,0 +1,100 @@
+"""Scale harness invariants: fleet shapes, lazy parity, determinism.
+
+``repro.distributed.scale`` is the million-device synthetic campaign
+driver behind ``benchmarks/bench_scale.py``.  These tests pin the parts
+the bench itself cannot assert cheaply: the heavy-tailed cluster split
+is exact and total, the lazy-LRU fleet observes the *same protocol* as
+an always-live fleet (traffic, contributions, serving — everything but
+the memory bill), and a campaign replays byte-identically from its seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed.scale import (
+    ScaleConfig,
+    heavy_tailed_sizes,
+    run_scale_campaign,
+)
+
+
+class TestHeavyTailedSizes:
+    def test_exact_total_and_floor(self):
+        sizes = heavy_tailed_sizes(1000, 8, exponent=1.2)
+        assert sum(sizes) == 1000
+        assert len(sizes) == 8
+        assert min(sizes) >= 1
+
+    def test_heavy_tail_is_monotone(self):
+        sizes = heavy_tailed_sizes(10_000, 16, exponent=1.5)
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] > sizes[-1] * 3  # genuinely skewed
+
+    def test_degenerate_counts(self):
+        assert heavy_tailed_sizes(5, 5) == [1, 1, 1, 1, 1]
+        assert heavy_tailed_sizes(7, 1) == [7]
+        with pytest.raises(ValueError):
+            heavy_tailed_sizes(3, 4)
+        with pytest.raises(ValueError):
+            heavy_tailed_sizes(3, 0)
+
+    def test_deterministic(self):
+        assert heavy_tailed_sizes(12_345, 7) == heavy_tailed_sizes(12_345, 7)
+
+
+def _campaign_dict(**overrides):
+    config = ScaleConfig(
+        num_devices=120,
+        num_clusters=3,
+        rounds=2,
+        lru_capacity=8,
+        eval_requests=4,
+        deadline_quantile=0.8,
+        churn=0.05,
+        drop=0.02,
+        ledger="summary",
+        seed=0,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return run_scale_campaign(config).to_dict()
+
+
+#: Fields that may legitimately differ between runs or modes (wall
+#: clock, memory instrumentation, LRU churn counters).
+_VOLATILE = {
+    "round_seconds",
+    "devices_per_round_second",
+    "serving_seconds",
+    "requests_per_second",
+    "peak_memory_mb",
+    "hydrations",
+    "evictions",
+    "live_headers",
+}
+
+
+def _stable(report: dict) -> dict:
+    return {k: v for k, v in report.items() if k not in _VOLATILE}
+
+
+class TestCampaignProperties:
+    def test_lazy_matches_always_live(self):
+        """Same protocol either way: lazy eviction only changes memory."""
+        lazy = _campaign_dict(always_live=False)
+        live = _campaign_dict(always_live=True)
+        assert _stable(lazy) == _stable(live)
+        assert lazy["hydrations"] > 0  # the LRU actually cycled
+        assert live["hydrations"] == 0
+
+    def test_replay_determinism(self):
+        assert _stable(_campaign_dict()) == _stable(_campaign_dict())
+
+    def test_straggler_and_fault_accounting(self):
+        report = _campaign_dict()
+        assert report["contributions"] > 0
+        assert report["stragglers"] > 0
+        assert 0.0 < report["participation"] <= 1.0
+        assert report["eval_requests_served"] > 0
+        assert report["kind_counts"].get("importance_set", 0) > 0
+        assert report["total_megabytes"] > 0.0

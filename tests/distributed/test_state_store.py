@@ -1,0 +1,342 @@
+"""Lazy device-state LRU: evict → rehydrate is bit-for-bit the live path.
+
+The :class:`~repro.distributed.state_store.DeviceStateLRU` lets a
+cluster keep only K devices' headers materialized; everything else sits
+as a compact serialized blob.  The contract under test: *no observable
+difference* from the always-live mode — not in importance sets, not in
+prune masks, not in fused-optimizer state, not across checkpoints or
+dtype casts, and not in a full system run's ledger.  Eviction is probed
+at the adversarial points: between importance rounds, after pruning,
+across a save→load checkpoint, and across ``astype``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.header_importance import ImportanceConfig
+from repro.data import make_cifar100_like
+from repro.distributed import ACMEConfig, ACMESystem
+from repro.distributed.device import DeviceNode
+from repro.distributed.messages import Message, MessageKind
+from repro.distributed.network import Network
+from repro.distributed.state_store import (
+    DeviceStateLRU,
+    export_adam_state,
+    import_adam_state,
+    restore_header,
+    snapshot_header,
+)
+from repro.hw.profiles import DeviceProfile
+from repro.models import ViTConfig, VisionTransformer
+from repro.models.blocks import BlockSpec, HeaderSpec
+from repro.models.header_dag import DAGHeader
+from repro.nn.optim import Adam
+from repro.nn.serialization import state_from_bytes, state_to_bytes
+from repro.nn.tensor import Tensor
+
+
+def _distribution_payload(seed: int = 0) -> dict:
+    config = ViTConfig(image_size=8, patch_size=4, embed_dim=16, depth=2,
+                       num_heads=2, num_classes=4)
+    backbone = VisionTransformer(config, seed=0)
+    spec = HeaderSpec(blocks=(BlockSpec(0, 1, 1, 3),))
+    header = DAGHeader(config.embed_dim, config.num_patches,
+                       config.num_classes, spec,
+                       rng=np.random.default_rng(seed))
+    return {
+        "vit_config": config,
+        "backbone_state": backbone.state_dict(),
+        "head_orders": [np.arange(config.num_heads)] * config.depth,
+        "neuron_orders": [np.arange(config.mlp_hidden)] * config.depth,
+        "width": 1.0,
+        "depth": config.depth,
+        "header_spec": spec,
+        "header_state": header.state_dict(),
+        "keep_fraction": 0.6,
+    }
+
+
+def _device(network, data, device_id=0, seed=3, store=None):
+    profile = DeviceProfile.synthesize(
+        device_id, 4, 50_000, np.random.default_rng(device_id)
+    )
+    return DeviceNode(
+        profile, data, network, seed=seed, state_store=store,
+        importance_config=ImportanceConfig(seed=seed, max_batches_per_epoch=1),
+    )
+
+
+def _provision(device, payload):
+    reply = device.handle(
+        Message("edge0", device.name, MessageKind.MODEL_DISTRIBUTION, payload)
+    )
+    assert reply.kind is MessageKind.ACK
+
+
+@pytest.fixture()
+def twins():
+    """Same profile/seed/data twice: one eager device, one lazy."""
+    network = Network()
+    data = make_cifar100_like(num_classes=4, image_size=8).generate(
+        samples_per_class=8, seed=1
+    )
+    payload = _distribution_payload()
+    eager = _device(network, data, device_id=0)
+    store = DeviceStateLRU(capacity=1)
+    lazy = _device(network, data, device_id=1, store=store)
+    # Same seed on both sides — the device name differs but every RNG
+    # draw (header init, importance config, feature sampling) is seeded
+    # from `seed`, which is what the parity contract keys on.
+    _provision(eager, payload)
+    _provision(lazy, payload)
+    return eager, lazy, store, network, data, payload
+
+
+def _force_evict(lazy, store, network, data, payload):
+    """Hydrate a sacrificial sibling so the capacity-1 store evicts."""
+    other = _device(network, data, device_id=99, store=store)
+    _provision(other, payload)
+    other._ensure_live()
+    assert not store.is_live(lazy)
+    assert lazy.header is None and lazy._cold_state is not None
+
+
+class TestEvictionParity:
+    def test_first_touch_matches_eager_build(self, twins):
+        eager, lazy, _store, *_ = twins
+        assert lazy.header is None  # nothing materialized yet
+        up_eager = eager.importance_round(include_feature_sample=True)
+        up_lazy = lazy.importance_round(include_feature_sample=True)
+        np.testing.assert_array_equal(
+            up_eager.payload["importance"], up_lazy.payload["importance"]
+        )
+        np.testing.assert_array_equal(
+            up_eager.payload["feature_sample"], up_lazy.payload["feature_sample"]
+        )
+
+    def test_eviction_between_importance_rounds(self, twins):
+        eager, lazy, store, network, data, payload = twins
+        q1e = eager.importance_round().payload["importance"]
+        q1l = lazy.importance_round().payload["importance"]
+        np.testing.assert_array_equal(q1e, q1l)
+        # Prune both by the same personalized set, then evict the lazy
+        # twin *between rounds* — masks and pristine copies must survive
+        # the round trip.
+        q_prime = np.abs(np.random.default_rng(0).random(q1e.size)).astype(
+            np.float32
+        )
+        down = {"importance": q_prime}
+        eager.handle(Message("edge0", eager.name, MessageKind.PERSONALIZED_SET, down))
+        lazy.handle(Message("edge0", lazy.name, MessageKind.PERSONALIZED_SET, down))
+        _force_evict(lazy, store, network, data, payload)
+        q2e = eager.importance_round().payload["importance"]
+        q2l = lazy.importance_round().payload["importance"]
+        np.testing.assert_array_equal(q2e, q2l)
+        for name, value in eager.header.state_dict().items():
+            np.testing.assert_array_equal(value, lazy.header.state_dict()[name])
+        assert (eager.header._parameter_mask is None) == (
+            lazy.header._parameter_mask is None
+        )
+        if eager.header._parameter_mask is not None:
+            for key, mask in eager.header._parameter_mask.items():
+                np.testing.assert_array_equal(
+                    mask, lazy.header._parameter_mask[key]
+                )
+
+    def test_eviction_across_checkpoint_save_load(self, twins, tmp_path):
+        eager, lazy, store, network, data, payload = twins
+        eager.finetune()
+        lazy.finetune()
+        _force_evict(lazy, store, network, data, payload)
+        # Checkpoint the cold blob itself (what a real edge would spill
+        # to disk), reload it, and hand it back to the device.
+        blob_path = tmp_path / "device1.cold"
+        blob_path.write_bytes(lazy._cold_state)
+        lazy._cold_state = blob_path.read_bytes()
+        lazy._ensure_live()
+        for name, value in eager.header.state_dict().items():
+            np.testing.assert_array_equal(value, lazy.header.state_dict()[name])
+        ev_eager, ev_lazy = eager.evaluate(), lazy.evaluate()
+        assert ev_eager == ev_lazy
+
+    def test_eviction_across_astype(self, twins):
+        eager, lazy, store, network, data, payload = twins
+        eager.finetune()
+        lazy.finetune()
+        _force_evict(lazy, store, network, data, payload)
+        lazy._ensure_live()
+        eager32 = eager.header.astype(np.float32)
+        lazy32 = lazy.header.astype(np.float32)
+        for name, value in eager32.state_dict().items():
+            assert value.dtype == np.float32
+            np.testing.assert_array_equal(value, lazy32.state_dict()[name])
+
+
+class TestSnapshotRoundTrip:
+    def test_masked_header_snapshot_bit_exact(self):
+        rng = np.random.default_rng(7)
+        spec = HeaderSpec(blocks=(BlockSpec(0, 1, 1, 3),))
+        header = DAGHeader(16, 4, 4, spec, rng=np.random.default_rng(3))
+        from repro.core.header_importance import prune_by_importance
+
+        size = sum(int(np.prod(p.data.shape)) for p in header.parameters())
+        prune_by_importance(header, rng.random(size), keep_fraction=0.5)
+        state = state_from_bytes(state_to_bytes(snapshot_header(header)))
+        fresh = DAGHeader(16, 4, 4, spec, rng=np.random.default_rng(99))
+        restore_header(fresh, state)
+        for name, value in header.state_dict().items():
+            np.testing.assert_array_equal(value, fresh.state_dict()[name])
+        assert set(header._parameter_mask) == set(fresh._parameter_mask)
+        for key in header._parameter_mask:
+            np.testing.assert_array_equal(
+                header._parameter_mask[key], fresh._parameter_mask[key]
+            )
+            np.testing.assert_array_equal(
+                header._pristine[key], fresh._pristine[key]
+            )
+
+
+class TestAdamStateCapsule:
+    def _train(self, params, optimizer, grads):
+        for step_grads in grads:
+            for p, g in zip(params, step_grads):
+                p.grad = g.copy()
+            optimizer.step()
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_mid_training_roundtrip_bit_exact(self, fused):
+        """Evict at step k, restore into a FRESH optimizer, keep training."""
+        rng = np.random.default_rng(11)
+        shapes = [(12, 8), (8,), (5, 3)]
+        datas = [rng.normal(size=s) for s in shapes]
+        grads = [[rng.normal(size=s) for s in shapes] for _ in range(12)]
+
+        straight = [Tensor(d.copy(), requires_grad=True) for d in datas]
+        opt_straight = Adam(straight, lr=1e-2, fused=fused)
+        self._train(straight, opt_straight, grads)
+
+        interrupted = [Tensor(d.copy(), requires_grad=True) for d in datas]
+        opt_a = Adam(interrupted, lr=1e-2, fused=fused)
+        self._train(interrupted, opt_a, grads[:5])
+        blob = state_to_bytes(export_adam_state(opt_a))
+        # Fresh params at the evicted values + a fresh optimizer — the
+        # rehydration scenario (old objects are gone).
+        resumed = [Tensor(p.data.copy(), requires_grad=True) for p in interrupted]
+        opt_b = Adam(resumed, lr=1e-2, fused=fused)
+        import_adam_state(opt_b, state_from_bytes(blob))
+        self._train(resumed, opt_b, grads[5:])
+
+        for a, b in zip(straight, resumed):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_cross_mode_roundtrip(self):
+        """Fused-exported state resumes bit-exact on a reference Adam."""
+        rng = np.random.default_rng(13)
+        shapes = [(6, 4), (4,)]
+        datas = [rng.normal(size=s) for s in shapes]
+        grads = [[rng.normal(size=s) for s in shapes] for _ in range(10)]
+
+        straight = [Tensor(d.copy(), requires_grad=True) for d in datas]
+        self._train(straight, Adam(straight, lr=3e-3, fused=False), grads)
+
+        fused_params = [Tensor(d.copy(), requires_grad=True) for d in datas]
+        opt_fused = Adam(fused_params, lr=3e-3, fused=True)
+        self._train(fused_params, opt_fused, grads[:4])
+        state = export_adam_state(opt_fused)
+        resumed = [Tensor(p.data.copy(), requires_grad=True) for p in fused_params]
+        opt_ref = Adam(resumed, lr=3e-3, fused=False)
+        import_adam_state(opt_ref, state)
+        self._train(resumed, opt_ref, grads[4:])
+
+        for a, b in zip(straight, resumed):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_never_stepped_exports_zeros(self):
+        params = [Tensor(np.ones((3, 2)), requires_grad=True)]
+        state = export_adam_state(Adam(params, fused=True))
+        assert int(state["t"]) == 0
+        np.testing.assert_array_equal(state["m.0"], np.zeros((3, 2)))
+
+    def test_non_adam_rejected(self):
+        from repro.nn.optim import SGD
+
+        params = [Tensor(np.ones(2), requires_grad=True)]
+        with pytest.raises(TypeError):
+            export_adam_state(SGD(params))
+
+
+class TestLRUMechanics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DeviceStateLRU(0)
+
+    def test_eviction_order_and_counters(self):
+        network = Network()
+        data = make_cifar100_like(num_classes=4, image_size=8).generate(
+            samples_per_class=4, seed=1
+        )
+        payload = _distribution_payload()
+        store = DeviceStateLRU(capacity=2)
+        devices = [
+            _device(network, data, device_id=i, store=store) for i in range(3)
+        ]
+        for d in devices:
+            _provision(d, payload)
+        devices[0]._ensure_live()
+        devices[1]._ensure_live()
+        devices[0]._ensure_live()  # refresh 0 → LRU order is [1, 0]
+        devices[2]._ensure_live()  # evicts 1, not 0
+        assert store.is_live(devices[0]) and store.is_live(devices[2])
+        assert not store.is_live(devices[1])
+        assert store.live_count == 2
+        assert store.hydrations == 3 and store.evictions == 1
+        # The evicted device's cold blob exists; the live ones have none.
+        assert devices[1]._cold_state is not None
+        assert devices[0]._cold_state is None
+
+    def test_shared_backbone_single_instance(self):
+        network = Network()
+        data = make_cifar100_like(num_classes=4, image_size=8).generate(
+            samples_per_class=4, seed=1
+        )
+        payload = _distribution_payload()
+        store = DeviceStateLRU(capacity=4)
+        devices = [
+            _device(network, data, device_id=i, store=store) for i in range(3)
+        ]
+        for d in devices:
+            _provision(d, payload)
+            d._ensure_live()
+        assert devices[0].backbone is devices[1].backbone is devices[2].backbone
+
+
+class TestSystemParity:
+    def test_lazy_system_bit_identical_to_eager(self):
+        """Full pipeline, LRU capacity 1 (evict on every touch) vs None."""
+
+        def run(capacity):
+            from tests.helpers import reset_engine_state
+
+            reset_engine_state()
+            config = ACMEConfig(
+                num_clusters=1,
+                devices_per_cluster=3,
+                num_classes=4,
+                samples_per_class=12,
+                compute_dtype="float64",
+                device_state_capacity=capacity,
+                seed=0,
+            )
+            system = ACMESystem(config)
+            result = system.run()
+            return result, system.network.kind_sequence(), system.network.stats.total_bytes
+
+        eager, eager_kinds, eager_bytes = run(None)
+        lazy, lazy_kinds, lazy_bytes = run(1)
+        assert lazy.mean_accuracy == eager.mean_accuracy
+        assert (
+            lazy.clusters[0].device_accuracies == eager.clusters[0].device_accuracies
+        )
+        assert lazy.clusters[0].device_losses == eager.clusters[0].device_losses
+        assert lazy_kinds == eager_kinds
+        assert lazy_bytes == eager_bytes

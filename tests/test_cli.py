@@ -51,3 +51,17 @@ class TestCommands:
         assert 0.0 <= payload["mean_accuracy"] <= 1.0
         assert payload["upload_mb"] > 0
         assert len(payload["clusters"]) == 1
+
+    def test_scale_small_campaign(self, capsys):
+        code = main([
+            "scale", "--devices", "60", "--clusters", "2", "--rounds", "1",
+            "--lru", "4", "--eval-requests", "2",
+            "--deadline-quantile", "0.8", "--seed", "0",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_devices"] == 60
+        assert sum(payload["cluster_sizes"]) == 60
+        assert payload["contributions"] > 0
+        assert payload["stragglers"] > 0
+        assert 0.0 < payload["participation"] <= 1.0

@@ -255,3 +255,69 @@ class TestEdgeFinalizeBatched:
         reset_engine_state()
         per_device = self._finalized_system(batched_serving=False)
         assert batched == per_device  # accuracies/losses bit-for-bit
+
+
+class TestServingFront:
+    from repro.train.serving import ServingFront  # noqa: F401 (import check)
+
+    def _headers(self, backbone, count):
+        kinds = ["linear", "mlp", "hybrid"]
+        return [
+            build_fixed_header(
+                kinds[i % len(kinds)], VIT.embed_dim, VIT.num_patches,
+                VIT.num_classes, rng=np.random.default_rng(10 + i),
+            )
+            for i in range(count)
+        ]
+
+    def test_micro_batched_serving_matches_per_request(self, backbone, datasets):
+        """Any micro-batch grouping is bit-identical to direct evaluation."""
+        from repro.train.serving import ServingFront
+
+        headers = self._headers(backbone, len(datasets))
+        expected = [
+            evaluate_header(backbone, header, dataset)
+            for header, dataset in zip(headers, datasets)
+        ]
+        for micro_batch in (1, 2, 16):
+            front = ServingFront(backbone, micro_batch=micro_batch)
+            tickets = [
+                front.submit(header, dataset)
+                for header, dataset in zip(headers, datasets)
+            ]
+            front.flush()
+            for ticket, want in zip(tickets, expected):
+                assert front.result(ticket) == want
+
+    def test_fifo_tickets_and_flush_counters(self, backbone, datasets):
+        from repro.train.serving import ServingFront
+
+        headers = self._headers(backbone, 5)
+        front = ServingFront(backbone, micro_batch=2)
+        tickets = [front.submit(h, datasets[0]) for h in headers]
+        assert tickets == [0, 1, 2, 3, 4]
+        assert front.pending == 5
+        assert front.max_queue_depth == 5
+        served = front.flush()
+        assert served == tickets  # FIFO order preserved across groups
+        assert front.pending == 0
+        assert front.flushes == 3  # ceil(5 / 2) micro-batches
+        assert front.requests_served == 5
+
+    def test_result_pops_and_unserved_raises(self, backbone, datasets):
+        from repro.train.serving import ServingFront
+
+        front = ServingFront(backbone, micro_batch=4)
+        ticket = front.submit(self._headers(backbone, 1)[0], datasets[0])
+        with pytest.raises(KeyError, match="not served"):
+            front.result(ticket)
+        front.flush()
+        front.result(ticket)
+        with pytest.raises(KeyError):
+            front.result(ticket)  # popped on first read
+
+    def test_invalid_micro_batch_rejected(self, backbone):
+        from repro.train.serving import ServingFront
+
+        with pytest.raises(ValueError, match="micro_batch"):
+            ServingFront(backbone, micro_batch=0)
