@@ -36,8 +36,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if args.quorum is not None:
         config.edge.round_quorum = args.quorum
-    system = ACMESystem(config)
-    result = system.run()
+    if args.transport == "tcp":
+        from repro.distributed.system import run_multiprocess
+
+        result = run_multiprocess(config)
+    else:
+        system = ACMESystem(config)
+        result = system.run()
     payload = {
         "mean_accuracy": result.mean_accuracy,
         "upload_mb": result.traffic.upload_megabytes(),
@@ -177,6 +182,16 @@ def build_parser() -> argparse.ArgumentParser:
         "importance sets must arrive before the round aggregates "
         "(default 1.0 = require every reply); below it, rounds degrade "
         "to whoever answered plus carried-forward sets",
+    )
+    run.add_argument(
+        "--transport",
+        choices=["loopback", "tcp"],
+        default="loopback",
+        help="message fabric: 'loopback' runs everything in-process "
+        "(the default, bit-for-bit the historical behavior); 'tcp' runs "
+        "the cloud and each edge cluster as separate OS processes "
+        "connected by the wire protocol — same seed, same results, same "
+        "ledger (see ROBUSTNESS.md, 'The wire transport')",
     )
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)

@@ -17,6 +17,7 @@ from repro.distributed.faults import (
     FaultPolicy,
     FaultRecord,
     ProtocolError,
+    TransportFailure,
 )
 from repro.distributed.messages import Message, MessageKind, payload_nbytes
 from repro.distributed.metrics import (
@@ -33,7 +34,15 @@ from repro.distributed.system import (
     ACMERunResult,
     ACMESystem,
     ClusterResult,
+    run_multiprocess,
 )
+from repro.distributed.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+    TransportConfig,
+)
+from repro.distributed.wire import WireError
 
 __all__ = [
     "ACMEConfig",
@@ -50,13 +59,19 @@ __all__ = [
     "FaultDecision",
     "FaultPolicy",
     "FaultRecord",
+    "LoopbackTransport",
     "Message",
     "MessageKind",
     "Network",
     "NetworkShard",
     "NormalizedTradeoff",
     "ProtocolError",
+    "TcpTransport",
     "TrafficStats",
+    "Transport",
+    "TransportConfig",
+    "TransportFailure",
+    "WireError",
     "WorkerSpec",
     "centralized_upload_bytes",
     "energy_efficiency_ratio",
@@ -65,6 +80,7 @@ __all__ = [
     "payload_nbytes",
     "relative_upload",
     "resolve_workers",
+    "run_multiprocess",
     "schedule_length",
     "size_efficiency_ratio",
     "split_worker_budget",

@@ -59,6 +59,25 @@ class DeliveryError(RuntimeError):
     """``send_reliable`` exhausted its retries without a clean delivery."""
 
 
+class TransportFailure(RuntimeError):
+    """One delivery attempt failed at the transport layer (retryable).
+
+    Raised by a wire transport's remote-delivery stub when a send hits a
+    real failure — a request timeout, a dropped connection, a peer that
+    went away mid-exchange.  The fabric catches it around the handler
+    invocation, records a :class:`FaultRecord` under :attr:`fault` and
+    turns the attempt into the same retryable loss an injected drop
+    produces, so ``send_reliable``'s retry/backoff and the degraded-mode
+    protocol handle genuine network failures and simulated ones through
+    one path.  The in-process loopback fabric never raises it.
+    """
+
+    def __init__(self, fault: str, message: str) -> None:
+        super().__init__(message)
+        #: Fault-ledger class for this failure (``"timeout"``/``"crash"``).
+        self.fault = fault
+
+
 #: Stream-domain separators so the fault draws, churn draws and any
 #: future stream never collide for equal integer inputs.
 _FAULT_STREAM = 0xFA017

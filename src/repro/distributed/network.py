@@ -61,7 +61,12 @@ from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.distributed.faults import DeliveryError, FaultPolicy, FaultRecord
+from repro.distributed.faults import (
+    DeliveryError,
+    FaultPolicy,
+    FaultRecord,
+    TransportFailure,
+)
 from repro.distributed.messages import Message
 
 #: The shard currently carrying a delivery (None = record on the root).
@@ -186,11 +191,24 @@ def _attempt(route: "_Route", message: Message) -> Tuple[Optional[Message], Opti
         )
         route._delayed.append([message, decision.delay_deliveries])
         return None, "delay"
-    reply = route._invoke(handler, message)
+    try:
+        reply = route._invoke(handler, message)
+    except TransportFailure as exc:
+        # A real wire failure (timeout, dropped connection, dead peer)
+        # behaves exactly like an injected drop: the bytes left the
+        # sender and were recorded above, the fault lands on the ledger,
+        # and the caller sees a retryable loss.  Loopback handlers never
+        # raise this.
+        route._record_fault(_fault(message, exc.fault))
+        route._drain_delayed()
+        return None, exc.fault
     if decision is not None and decision.duplicate:
         route._record_fault(_fault(message, "duplicate"))
         route._record(message)  # the duplicate transfer costs bytes too
-        route._invoke(handler, message)
+        try:
+            route._invoke(handler, message)
+        except TransportFailure as exc:
+            route._record_fault(_fault(message, exc.fault))
     route._drain_delayed()
     return reply, None
 
@@ -234,7 +252,10 @@ def _drain_delayed(route: "_Route") -> None:
             except KeyError:
                 route._record_fault(_fault(message, "lost"))
                 continue
-            route._invoke(handler, message)
+            try:
+                route._invoke(handler, message)
+            except TransportFailure as exc:
+                route._record_fault(_fault(message, exc.fault))
     finally:
         route._draining = False
 
@@ -366,9 +387,17 @@ class Network:
         immediately instead of silently overwriting the existing node's
         handler — stale registrations from a torn-down system must be
         removed with :meth:`unregister` first.
+
+        Re-registering the *same* handler under its existing name is an
+        idempotent no-op (``==`` so a re-taken bound method of the same
+        object counts as the same handler).  A reconnecting transport
+        replays its registrations without knowing whether the previous
+        ones survived; only a genuinely different owner collides.
         """
         with self._registry_lock:
             if name in self._handlers:
+                if self._handlers[name] == handler:
+                    return
                 via = f" (via shard {shard.owner!r})" if shard is not None else ""
                 raise ValueError(
                     f"node name {name!r} is already registered on this fabric"

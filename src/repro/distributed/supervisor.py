@@ -1,0 +1,441 @@
+"""Process supervisor: the ACME tiers as real OS processes over TCP.
+
+:func:`run_multiprocess` launches one **cloud process** (serving a
+:class:`~repro.distributed.transport.WireHub`) and one **edge process
+per cluster** (each hosting its devices on a local
+:class:`~repro.distributed.transport.WireFabric` and dialing the hub
+through a :class:`~repro.distributed.transport.WireLink`), then merges
+the per-edge results and ledgers in edge index order.
+
+Determinism without data on the wire.  Every process rebuilds its slice
+of the world locally from ``(ACMEConfig, seed)`` via
+:func:`~repro.distributed.system.build_fleet_data` /
+:func:`~repro.distributed.system.build_cluster` — dataset partition,
+splits, fleet profiles and model init are pure functions of the seed —
+so only protocol messages cross the sockets.  Each edge process's
+fabric ledger is exactly the loopback run's per-edge shard ledger;
+concatenating them in edge index order reproduces the loopback
+``kind_sequence()`` and Table-I byte counters bit-for-bit.
+
+Degraded mode, never a hang.  Every wait in the supervisor is bounded:
+a killed or wedged edge process is detected (process exit, pipe EOF or
+``edge_timeout``), surfaced internally as the protocol's own
+:class:`~repro.distributed.faults.DeliveryError`, and folded into the
+result as a crashed cluster — ``round_participation`` all zero, a
+``"crash"`` entry in ``fault_counts``, one failed delivery — while the
+surviving clusters' results stand.  All child processes are reaped on
+every exit path (they are also daemonic, so even a dying supervisor
+cannot leak them).
+
+Test hooks: ``kill_edge``/``kill_point`` make the chosen edge process
+SIGKILL *itself* at a deterministic protocol point, which is how the
+kill-an-edge integration test produces a real mid-campaign crash.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributed.faults import DeliveryError, FaultRecord
+from repro.distributed.metrics import centralized_upload_bytes
+from repro.distributed.network import TrafficStats, _fault
+from repro.distributed.system import (
+    ACMEConfig,
+    ACMERunResult,
+    ClusterResult,
+    arm_fault_policy,
+    build_cluster,
+    build_fleet_data,
+    run_edge_phases,
+)
+from repro.distributed.transport import TcpTransport, TransportConfig
+
+__all__ = ["run_multiprocess", "EdgeLedger", "KILL_POINTS"]
+
+#: Deterministic self-SIGKILL points for the kill-an-edge hook.
+#: ``mid_rounds`` = after one aggregation round, the canonical
+#: "mid-campaign" crash; the rest map to ``run_edge_phases`` checkpoints.
+KILL_POINTS = ("backbone", "search", "distribute", "mid_rounds", "aggregate")
+
+
+@dataclass
+class EdgeLedger:
+    """A picklable capture of one edge process's fabric ledger."""
+
+    kinds: List[str]
+    kind_counts: Dict[str, int]
+    stats: Dict[str, object]
+    fault_records: List[FaultRecord]
+    fault_counts: Dict[str, int]
+    delivery_attempts: int = 0
+    retry_count: int = 0
+    failed_deliveries: int = 0
+
+
+def _dtype_scope(config: ACMEConfig):
+    if config.compute_dtype is not None:
+        from repro.nn.tensor import using_dtype
+
+        return using_dtype(config.compute_dtype)
+    return contextlib.nullcontext()
+
+
+def _capture_stats(stats: TrafficStats) -> Dict[str, object]:
+    """Plain-dict form of a ledger's counters (defaultdicts don't pickle)."""
+    return {
+        "total_bytes": stats.total_bytes,
+        "upload_bytes": stats.upload_bytes,
+        "download_bytes": stats.download_bytes,
+        "message_count": stats.message_count,
+        "by_kind": dict(stats.by_kind),
+        "by_pair": dict(stats.by_pair),
+    }
+
+
+def _merge_stats(target: TrafficStats, captured: Dict[str, object]) -> None:
+    target.total_bytes += captured["total_bytes"]
+    target.upload_bytes += captured["upload_bytes"]
+    target.download_bytes += captured["download_bytes"]
+    target.message_count += captured["message_count"]
+    for kind, nbytes in captured["by_kind"].items():
+        target.by_kind[kind] += nbytes
+    for pair, nbytes in captured["by_pair"].items():
+        target.by_pair[pair] += nbytes
+
+
+def _capture_ledger(fabric) -> EdgeLedger:
+    """Snapshot an edge fabric's ledger for the trip home.
+
+    Mirrors ``Network.merge_shards``: still-pending delayed messages are
+    recorded as ``"expired"`` faults at the end of this edge's slot.
+    """
+    for message, _countdown in list(fabric._delayed):
+        fabric._record_fault(_fault(message, "expired"))
+    fabric._delayed = []
+    return EdgeLedger(
+        kinds=fabric.kind_sequence(),
+        kind_counts=dict(fabric.kind_counts),
+        stats=_capture_stats(fabric.stats),
+        fault_records=list(fabric.fault_log),
+        fault_counts=fabric.fault_counts(),
+        delivery_attempts=fabric.delivery_attempts,
+        retry_count=fabric.retry_count,
+        failed_deliveries=fabric.failed_deliveries,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker processes
+# ---------------------------------------------------------------------------
+def _cloud_worker(config: ACMEConfig, tcfg: TransportConfig, conn) -> None:
+    """Cloud tier: pretrain/candidates, then serve edges until told to stop."""
+    transport = None
+    try:
+        with _dtype_scope(config):
+            from repro.distributed.cloud import CloudServer
+            from repro.models.vit import VisionTransformer
+
+            data = build_fleet_data(config)
+            transport = TcpTransport.serve("cloud-hub", tcfg)
+            reference = VisionTransformer(config.vit, seed=config.seed)
+            cloud = CloudServer(
+                reference, data.public_dataset, transport.network, config.cloud
+            )
+            cloud.pretrain_reference()
+            cloud.generate_dynamic_backbone()
+            cloud.prepare_candidates()
+            conn.send(("ready", transport.port))
+        while True:
+            command = conn.recv()  # EOF here = the supervisor died
+            if command == "stop":
+                break
+    except EOFError:
+        pass
+    except Exception:
+        with contextlib.suppress(Exception):
+            conn.send(("error", traceback.format_exc()))
+    finally:
+        if transport is not None:
+            transport.close()
+        with contextlib.suppress(Exception):
+            conn.close()
+
+
+def _edge_worker(
+    config: ACMEConfig,
+    tcfg: TransportConfig,
+    cluster_idx: int,
+    conn,
+    kill_point: Optional[str],
+) -> None:
+    """Edge tier: build the cluster locally, dial the hub, run the phases."""
+    try:
+        with _dtype_scope(config):
+            data = build_fleet_data(config)
+            port = conn.recv()  # the supervisor sends it once the hub is up
+            if not isinstance(port, int):
+                return  # supervisor aborted the launch
+            transport = TcpTransport.connect(
+                f"edge{cluster_idx}-link", tcfg.host, port, tcfg
+            )
+            try:
+                edge = build_cluster(config, data, cluster_idx, transport.network)
+                arm_fault_policy(transport.network, config, [edge])
+                transport.start()
+                if kill_point == "mid_rounds":
+                    # The canonical mid-campaign crash: one aggregation
+                    # round done, the rest never happen.
+                    edge.request_backbone()
+                    edge.search_header()
+                    edge.distribute_models()
+                    edge.aggregation_loop(num_rounds=1)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                checkpoint = None
+                if kill_point is not None:
+
+                    def checkpoint(phase: str) -> None:
+                        if phase == kill_point:
+                            os.kill(os.getpid(), signal.SIGKILL)
+
+                result = run_edge_phases(config, edge, checkpoint=checkpoint)
+                conn.send(("result", (result, _capture_ledger(transport.network))))
+            finally:
+                transport.close()
+    except Exception:
+        with contextlib.suppress(Exception):
+            conn.send(("error", traceback.format_exc()))
+    finally:
+        with contextlib.suppress(Exception):
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor
+# ---------------------------------------------------------------------------
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _await_report(conn, process, timeout: float, name: str) -> Tuple[str, object]:
+    """Wait (bounded) for a worker's report; crash/timeout → DeliveryError."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            if conn.poll(0.2):
+                return conn.recv()
+        except (EOFError, OSError):
+            raise DeliveryError(
+                f"{name} process closed its pipe without reporting a result"
+            ) from None
+        if not process.is_alive():
+            # Drain a report that raced the exit.
+            with contextlib.suppress(EOFError, OSError):
+                if conn.poll(0):
+                    return conn.recv()
+            raise DeliveryError(
+                f"{name} process exited with code {process.exitcode} "
+                f"before reporting a result"
+            )
+        if time.monotonic() > deadline:
+            raise DeliveryError(
+                f"{name} process produced no result within {timeout}s"
+            )
+
+
+def _degraded_cluster(config: ACMEConfig, cluster_idx: int) -> ClusterResult:
+    """The result slot of a crashed edge: zero participation, no evals."""
+    return ClusterResult(
+        edge_name=f"edge{cluster_idx}",
+        width=0.0,
+        depth=0,
+        round_participation=[0.0] * config.edge.aggregation_rounds,
+    )
+
+
+def _reap(processes: List) -> None:
+    """Terminate, then kill, then join every child — no orphans, ever."""
+    for process in processes:
+        with contextlib.suppress(Exception):
+            if process.is_alive():
+                process.terminate()
+    for process in processes:
+        with contextlib.suppress(Exception):
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+    for process in processes:
+        with contextlib.suppress(Exception):
+            process.close()
+
+
+def run_multiprocess(
+    config: ACMEConfig,
+    transport: Optional[TransportConfig] = None,
+    edge_timeout: float = 900.0,
+    kill_edge: Optional[int] = None,
+    kill_point: str = "mid_rounds",
+) -> ACMERunResult:
+    """Run the full ACME pipeline as separate processes over TCP.
+
+    Parameters
+    ----------
+    config:
+        The same :class:`ACMEConfig` a loopback run takes.  The result
+        is bit-for-bit the loopback result for the same seed (asserted
+        in ``tests/distributed/test_transport.py``).
+    transport:
+        TCP liveness/recovery knobs (heartbeat interval and miss
+        threshold, request/connect timeouts, reconnect backoff).
+    edge_timeout:
+        Per-process ceiling (seconds) on cloud readiness and on each
+        edge's full pipeline; an overrun degrades that edge instead of
+        hanging the run.
+    kill_edge / kill_point:
+        Fault-injection hook: edge ``kill_edge`` SIGKILLs itself at
+        ``kill_point`` (one of :data:`KILL_POINTS`).  The run completes
+        degraded: participation < 1.0, a ``"crash"`` fault count, one
+        failed delivery.
+    """
+    cfg = config
+    tcfg = transport if transport is not None else TransportConfig()
+    if kill_edge is not None and kill_point not in KILL_POINTS:
+        raise ValueError(f"kill_point must be one of {KILL_POINTS}, got {kill_point!r}")
+    ctx = _mp_context()
+    processes: List = []
+    conns: List = []
+    try:
+        cloud_conn, cloud_child = ctx.Pipe()
+        conns.append(cloud_conn)
+        cloud_proc = ctx.Process(
+            target=_cloud_worker,
+            args=(cfg, tcfg, cloud_child),
+            name="acme-cloud",
+            daemon=True,
+        )
+        cloud_proc.start()
+        processes.append(cloud_proc)
+        cloud_child.close()
+
+        edge_conns: List = []
+        edge_procs: List = []
+        for cluster_idx in range(cfg.num_clusters):
+            parent_conn, child_conn = ctx.Pipe()
+            conns.append(parent_conn)
+            process = ctx.Process(
+                target=_edge_worker,
+                args=(
+                    cfg,
+                    tcfg,
+                    cluster_idx,
+                    child_conn,
+                    kill_point if kill_edge == cluster_idx else None,
+                ),
+                name=f"acme-edge{cluster_idx}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+            child_conn.close()
+            edge_conns.append(parent_conn)
+            edge_procs.append(process)
+
+        # The cloud's "ready" carries the bound port; edges idle on their
+        # pipes (rebuilding their data meanwhile) until it arrives.
+        try:
+            status, payload = _await_report(
+                cloud_conn, cloud_proc, edge_timeout, "cloud"
+            )
+        except DeliveryError as exc:
+            raise RuntimeError(f"cloud process failed to start: {exc}") from exc
+        if status == "error":
+            raise RuntimeError(f"cloud process failed:\n{payload}")
+        port = int(payload)
+        for parent_conn in edge_conns:
+            with contextlib.suppress(Exception):
+                parent_conn.send(port)
+
+        clusters: List[ClusterResult] = []
+        ledgers: List[Optional[EdgeLedger]] = []
+        crashes: List[Tuple[int, DeliveryError]] = []
+        for cluster_idx, (parent_conn, process) in enumerate(
+            zip(edge_conns, edge_procs)
+        ):
+            try:
+                status, payload = _await_report(
+                    parent_conn, process, edge_timeout, f"edge{cluster_idx}"
+                )
+            except DeliveryError as exc:
+                # The degraded path: the crash becomes a recorded fault
+                # and a zero-participation cluster, not a dead run.
+                crashes.append((cluster_idx, exc))
+                clusters.append(_degraded_cluster(cfg, cluster_idx))
+                ledgers.append(None)
+                continue
+            if status == "error":
+                raise RuntimeError(f"edge{cluster_idx} process failed:\n{payload}")
+            result, ledger = payload
+            clusters.append(result)
+            ledgers.append(ledger)
+
+        with contextlib.suppress(Exception):
+            cloud_conn.send("stop")
+        cloud_proc.join(timeout=10.0)
+        return _merge_results(cfg, clusters, ledgers, crashes)
+    finally:
+        _reap(processes)
+        for conn in conns:
+            with contextlib.suppress(Exception):
+                conn.close()
+
+
+def _merge_results(
+    cfg: ACMEConfig,
+    clusters: List[ClusterResult],
+    ledgers: List[Optional[EdgeLedger]],
+    crashes: List[Tuple[int, DeliveryError]],
+) -> ACMERunResult:
+    """Fold per-edge ledgers (edge index order — the parity contract)."""
+    traffic = TrafficStats()
+    kinds: List[str] = []
+    edge_kinds: Dict[str, List[str]] = {}
+    fault_counter: Counter = Counter()
+    retries = attempts = failed = 0
+    for cluster_idx, ledger in enumerate(ledgers):
+        if ledger is None:
+            continue
+        _merge_stats(traffic, ledger.stats)
+        kinds.extend(ledger.kinds)
+        edge_kinds[f"edge{cluster_idx}"] = list(ledger.kinds)
+        fault_counter.update(ledger.fault_counts)
+        retries += ledger.retry_count
+        attempts += ledger.delivery_attempts
+        failed += ledger.failed_deliveries
+    for _cluster_idx, _error in crashes:
+        # DeliveryError-derived: the supervisor's liveness check raised
+        # it; the counters speak the fault ledger's language.
+        fault_counter["crash"] += 1
+        failed += 1
+    data = build_fleet_data(cfg)
+    return ACMERunResult(
+        clusters=clusters,
+        traffic=traffic,
+        centralized_upload_bytes=centralized_upload_bytes(data.device_datasets),
+        message_kinds=kinds,
+        edge_message_kinds=edge_kinds,
+        fault_counts=dict(fault_counter),
+        total_retries=retries,
+        delivery_attempts=attempts,
+        failed_deliveries=failed,
+    )

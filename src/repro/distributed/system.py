@@ -26,15 +26,14 @@ import numpy as np
 from repro.core.distill import DistillConfig
 from repro.core.nas import NASConfig
 from repro.data.dataset import ArrayDataset, merge
-from repro.data.partition import partition_dirichlet, partition_iid
+from repro.data.partition import partition_dirichlet
 from repro.data.synthetic import SyntheticImageGenerator, make_cifar100_like
 from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
 from repro.distributed.executor import WorkerSpec, parallel_map, split_worker_budget
 from repro.distributed.faults import FaultConfig, FaultPolicy
-from repro.distributed.messages import Message, MessageKind
-from repro.distributed.metrics import centralized_upload_bytes, relative_upload
+from repro.distributed.metrics import centralized_upload_bytes
 from repro.distributed.network import Network, NetworkShard, TrafficStats
 from repro.distributed.state_store import DeviceStateLRU
 from repro.hw.profiles import DeviceProfile, make_fleet
@@ -172,6 +171,151 @@ class ACMEConfig:
 
 
 @dataclass
+class FleetData:
+    """Everything data/hardware-side a run needs, built purely from seed.
+
+    Construction is a pure function of ``(ACMEConfig, generator seed)``:
+    the partition, the per-device train/test splits and the edge shared
+    samples all draw from one ``default_rng(cfg.seed)`` in a fixed order.
+    That is the multiprocess determinism contract — the supervisor's
+    cloud and edge processes each call :func:`build_fleet_data` locally
+    and reconstruct bit-identical datasets without shipping a byte of
+    data across the wire (only protocol messages travel).
+    """
+
+    generator: SyntheticImageGenerator
+    public_dataset: ArrayDataset
+    device_datasets: List[ArrayDataset]
+    device_test_sets: List[ArrayDataset]
+    fleet: List[List[DeviceProfile]]
+    shared_datasets: List[ArrayDataset]
+    rng: np.random.Generator
+
+
+def build_fleet_data(
+    config: ACMEConfig, generator: Optional[SyntheticImageGenerator] = None
+) -> FleetData:
+    """Build datasets, splits, fleet profiles and edge shared sets.
+
+    RNG draw order (the bit-parity contract with the pre-refactor
+    ``ACMESystem._build``): dirichlet partition, then every device's
+    test/train split in device order, then every cluster's shared-sample
+    draws in cluster order.  Nothing between those draws touches the
+    run RNG.
+    """
+    cfg = config
+    generator = generator or make_cifar100_like(
+        num_classes=cfg.num_classes, image_size=cfg.vit.image_size, seed=cfg.seed
+    )
+    rng = np.random.default_rng(cfg.seed)
+    public_dataset = generator.generate(
+        cfg.public_samples_per_class, seed=1000 + cfg.seed, name="public"
+    )
+    full = generator.generate(cfg.samples_per_class, seed=2000 + cfg.seed, name="fleet")
+    total_devices = cfg.num_clusters * cfg.devices_per_cluster
+    shards = partition_dirichlet(
+        full, total_devices, cfg.dirichlet_alpha, rng, min_samples=12
+    )
+    # Each device holds out a quarter of its shard for evaluation:
+    # personalized models are judged on the device's *own* data
+    # distribution (the paper's per-device accuracy).
+    device_datasets: List[ArrayDataset] = []
+    device_test_sets: List[ArrayDataset] = []
+    for shard in shards:
+        test, train = shard.split(0.25, rng)
+        device_datasets.append(train)
+        device_test_sets.append(test)
+    fleet = make_fleet(
+        num_clusters=cfg.num_clusters,
+        devices_per_cluster=cfg.devices_per_cluster,
+        seed=cfg.seed,
+        storage_levels=cfg.storage_levels,
+    )
+    # Edge shared datasets: a fraction of each device's data (the
+    # 10-20% of §IV-A), drawn cluster by cluster.
+    shared_datasets: List[ArrayDataset] = []
+    for cluster_idx in range(cfg.num_clusters):
+        base = cluster_idx * cfg.devices_per_cluster
+        local_sets = device_datasets[base : base + cfg.devices_per_cluster]
+        shared_parts = [
+            d.sample(max(2, int(cfg.shared_fraction * len(d))), rng)
+            for d in local_sets
+        ]
+        shared_datasets.append(merge(shared_parts, name=f"edge{cluster_idx}-shared"))
+    return FleetData(
+        generator=generator,
+        public_dataset=public_dataset,
+        device_datasets=device_datasets,
+        device_test_sets=device_test_sets,
+        fleet=fleet,
+        shared_datasets=shared_datasets,
+        rng=rng,
+    )
+
+
+def build_cluster(
+    config: ACMEConfig, data: FleetData, cluster_idx: int, network: Network
+) -> EdgeServer:
+    """Construct one cluster's devices + edge server on a fabric.
+
+    The unit a supervisor edge process builds: only this cluster's
+    devices register on ``network``, and every seeded input
+    (``cfg.seed + device_id``, the pre-drawn datasets in ``data``) is
+    position-independent, so a cluster built alone is identical to the
+    same cluster built inside a full :class:`ACMESystem`.
+    """
+    cfg = config
+    profiles = data.fleet[cluster_idx]
+    store = (
+        DeviceStateLRU(cfg.device_state_capacity)
+        if cfg.device_state_capacity is not None
+        else None
+    )
+    devices = []
+    base = cluster_idx * cfg.devices_per_cluster
+    for offset, profile in enumerate(profiles):
+        index = base + offset
+        devices.append(
+            DeviceNode(
+                profile,
+                data.device_datasets[index],
+                network,
+                test_dataset=data.device_test_sets[index],
+                importance_config=cfg.device_importance,
+                seed=cfg.seed + profile.device_id,
+                state_store=store,
+            )
+        )
+    return EdgeServer(
+        cluster_idx, devices, data.shared_datasets[cluster_idx], network, cfg.edge
+    )
+
+
+def arm_fault_policy(
+    network: Network, config: ACMEConfig, edges: Sequence[EdgeServer]
+) -> Optional[FaultPolicy]:
+    """Install the configured chaos policy and retire dead devices.
+
+    Installed before any traffic flows so the policy's per-link attempt
+    counters cover the whole run (seed replayability).  Permanently dead
+    devices leave the fabric immediately: they never receive a model and
+    never contribute a set.  Shared by :class:`ACMESystem` and the
+    multiprocess supervisor (each edge process arms its own policy from
+    the same config — fault draws are pure per-link functions, so the
+    distributed draws equal the loopback ones).
+    """
+    if config.fault_config is None:
+        return None
+    policy = FaultPolicy(config.fault_config)
+    network.install_fault_policy(policy)
+    for edge in edges:
+        for device in edge.devices:
+            if policy.is_dead(device.profile.device_id):
+                device.deactivate()
+    return policy
+
+
+@dataclass
 class ClusterResult:
     """Per-cluster outcome."""
 
@@ -238,6 +382,70 @@ class ACMERunResult:
         return self.traffic.upload_bytes / self.centralized_upload_bytes
 
 
+def run_edge_phases(
+    config: ACMEConfig,
+    edge: EdgeServer,
+    checkpoint: Optional[callable] = None,
+) -> ClusterResult:
+    """One edge's complete phase-2/3/4 protocol sequence + finalize.
+
+    The pure protocol body shared by :meth:`ACMESystem.run_edge_pipeline`
+    (which wraps it in a network-shard scope) and the multiprocess
+    supervisor's edge workers (which run it against their own wire
+    fabric).  ``checkpoint`` is called with a phase name after each
+    phase — the supervisor's fault-injection hook (e.g. SIGKILL the
+    process mid-campaign in the kill-an-edge test).
+    """
+    mark = checkpoint if checkpoint is not None else (lambda phase: None)
+    # Phase 1: cloud ↔ edge bidirectional interaction.
+    edge.request_backbone()
+    mark("backbone")
+    # Phase 2-1: header generation + distribution.
+    edge.search_header()
+    mark("search")
+    edge.distribute_models()
+    mark("distribute")
+    # Phase 2-2: the single loop.
+    edge.aggregation_loop()
+    mark("aggregate")
+    # Final fine-tune + evaluation (skipped in protocol-only runs,
+    # e.g. the Table I traffic accounting where only byte counts
+    # matter — payload sizes depend on shapes, not trained values).
+    # Fans out across the edge's parallel_devices workers, which
+    # __post_init__ seeded from cfg.parallel_devices (budget-split
+    # against parallel_edges) unless the edge config set its own
+    # value explicitly.
+    evals = edge.finalize() if config.finalize else []
+    mark("finalize")
+    return ClusterResult(
+        edge_name=edge.name,
+        width=edge.assigned_width or 1.0,
+        depth=edge.assigned_depth or config.vit.depth,
+        device_accuracies=[e["accuracy"] for e in evals],
+        device_losses=[e["loss"] for e in evals],
+        round_participation=list(edge.round_participation),
+        protocol_retries=edge.round_retry_total,
+    )
+
+
+def run_multiprocess(config: ACMEConfig, **kwargs) -> ACMERunResult:
+    """Run the system as real processes over the TCP wire transport.
+
+    One cloud process (a :class:`~repro.distributed.transport.WireHub`)
+    plus one process per edge cluster (each hosting its devices on a
+    local :class:`~repro.distributed.transport.WireFabric` and dialing
+    the hub).  Keyword arguments are forwarded to
+    :func:`repro.distributed.supervisor.run_multiprocess` — transport
+    knobs, per-edge deadlines and the kill-an-edge test hooks.  A
+    seeded run reproduces the loopback :meth:`ACMESystem.run` result
+    bit-for-bit (``kind_sequence()`` and accuracies included); a
+    crashed edge degrades the run instead of failing it.
+    """
+    from repro.distributed.supervisor import run_multiprocess as _run
+
+    return _run(config, **kwargs)
+
+
 class ACMESystem:
     """Builds and runs the three-tier ACME deployment."""
 
@@ -268,96 +476,29 @@ class ACMESystem:
 
     def _build(self, generator: Optional[SyntheticImageGenerator]) -> None:
         cfg = self.config
-        self.generator = generator or make_cifar100_like(
-            num_classes=cfg.num_classes, image_size=cfg.vit.image_size, seed=cfg.seed
-        )
+        data = build_fleet_data(cfg, generator)
+        self.generator = data.generator
         self.network = Network()
-        self.rng = np.random.default_rng(cfg.seed)
+        self.rng = data.rng
         #: Per-edge message-kind sub-sequences of the last cluster loop.
         self._edge_message_kinds: Dict[str, List[str]] = {}
-
-        # --- data ------------------------------------------------------
-        self.public_dataset = self.generator.generate(
-            cfg.public_samples_per_class, seed=1000 + cfg.seed, name="public"
-        )
-        full = self.generator.generate(
-            cfg.samples_per_class, seed=2000 + cfg.seed, name="fleet"
-        )
-        total_devices = cfg.num_clusters * cfg.devices_per_cluster
-        shards = partition_dirichlet(
-            full, total_devices, cfg.dirichlet_alpha, self.rng, min_samples=12
-        )
-        # Each device holds out a quarter of its shard for evaluation:
-        # personalized models are judged on the device's *own* data
-        # distribution (the paper's per-device accuracy).
-        self.device_datasets = []
-        self.device_test_sets = []
-        for shard in shards:
-            test, train = shard.split(0.25, self.rng)
-            self.device_datasets.append(train)
-            self.device_test_sets.append(test)
-
-        # --- hardware ----------------------------------------------------
-        self.fleet = make_fleet(
-            num_clusters=cfg.num_clusters,
-            devices_per_cluster=cfg.devices_per_cluster,
-            seed=cfg.seed,
-            storage_levels=cfg.storage_levels,
-        )
+        self.public_dataset = data.public_dataset
+        self.device_datasets = data.device_datasets
+        self.device_test_sets = data.device_test_sets
+        self.fleet = data.fleet
 
         # --- nodes -------------------------------------------------------
         reference = VisionTransformer(cfg.vit, seed=cfg.seed)
         self.cloud = CloudServer(
             reference, self.public_dataset, self.network, cfg.cloud
         )
-        self.edges: List[EdgeServer] = []
-        device_index = 0
-        for cluster_idx, profiles in enumerate(self.fleet):
-            store = (
-                DeviceStateLRU(cfg.device_state_capacity)
-                if cfg.device_state_capacity is not None
-                else None
-            )
-            devices = []
-            local_sets = []
-            for profile in profiles:
-                dataset = self.device_datasets[device_index]
-                local_sets.append(dataset)
-                devices.append(
-                    DeviceNode(
-                        profile,
-                        dataset,
-                        self.network,
-                        test_dataset=self.device_test_sets[device_index],
-                        importance_config=cfg.device_importance,
-                        seed=cfg.seed + profile.device_id,
-                        state_store=store,
-                    )
-                )
-                device_index += 1
-            # Edge shared dataset: a fraction of each device's data
-            # (the 10-20% of §IV-A).
-            shared_parts = [
-                d.sample(max(2, int(cfg.shared_fraction * len(d))), self.rng)
-                for d in local_sets
-            ]
-            shared = merge(shared_parts, name=f"edge{cluster_idx}-shared")
-            self.edges.append(
-                EdgeServer(cluster_idx, devices, shared, self.network, cfg.edge)
-            )
+        self.edges: List[EdgeServer] = [
+            build_cluster(cfg, data, cluster_idx, self.network)
+            for cluster_idx in range(cfg.num_clusters)
+        ]
 
         # --- fault injection -------------------------------------------
-        # Installed before any traffic flows so the policy's per-link
-        # attempt counters cover the whole run (seed replayability).
-        # Permanently dead devices leave the fabric immediately: they
-        # never receive a model and never contribute a set.
-        if cfg.fault_config is not None:
-            policy = FaultPolicy(cfg.fault_config)
-            self.network.install_fault_policy(policy)
-            for edge in self.edges:
-                for device in edge.devices:
-                    if policy.is_dead(device.profile.device_id):
-                        device.deactivate()
+        arm_fault_policy(self.network, cfg, self.edges)
 
     # ------------------------------------------------------------------
     def run(self) -> ACMERunResult:
@@ -404,33 +545,9 @@ class ACMESystem:
         path, and — when ``shard`` is given — that shard's private
         ledger, so any number of edges can run concurrently.
         """
-        cfg = self.config
         scope = shard.activate() if shard is not None else contextlib.nullcontext()
         with scope:
-            # Phase 1: cloud ↔ edge bidirectional interaction.
-            edge.request_backbone()
-            # Phase 2-1: header generation + distribution.
-            edge.search_header()
-            edge.distribute_models()
-            # Phase 2-2: the single loop.
-            edge.aggregation_loop()
-            # Final fine-tune + evaluation (skipped in protocol-only runs,
-            # e.g. the Table I traffic accounting where only byte counts
-            # matter — payload sizes depend on shapes, not trained values).
-            # Fans out across the edge's parallel_devices workers, which
-            # __post_init__ seeded from cfg.parallel_devices (budget-split
-            # against parallel_edges) unless the edge config set its own
-            # value explicitly.
-            evals = edge.finalize() if cfg.finalize else []
-        return ClusterResult(
-            edge_name=edge.name,
-            width=edge.assigned_width or 1.0,
-            depth=edge.assigned_depth or cfg.vit.depth,
-            device_accuracies=[e["accuracy"] for e in evals],
-            device_losses=[e["loss"] for e in evals],
-            round_participation=list(edge.round_participation),
-            protocol_retries=edge.round_retry_total,
-        )
+            return run_edge_phases(self.config, edge)
 
     def run_cluster_loop(self) -> List[ClusterResult]:
         """Run every edge's pipeline, possibly concurrently.

@@ -1,0 +1,101 @@
+"""Chaos over the wire: seeded faults through real TCP processes.
+
+Satellite 3: the PR 6 fault machinery composes with the TCP transport.
+Each edge process arms its own seeded :class:`FaultPolicy` (fault draws
+are pure per-link functions, so the distributed draws equal the
+loopback ones) and injects drops/duplicates/delays *on the sender
+side* of the wire.  For the same seed, the fault ledger, participation
+fractions and per-edge kind sequences must match the loopback chaos
+run exactly — replay determinism survives the socket hop.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.distributed.faults import FaultConfig
+from repro.distributed.system import ACMEConfig, ACMESystem, run_multiprocess
+
+
+def _chaos_config(**fault_overrides) -> ACMEConfig:
+    faults = dict(seed=7, drop=0.12, duplicate=0.05, delay=0.08, churn=0.1)
+    faults.update(fault_overrides)
+    return ACMEConfig(
+        num_clusters=2,
+        devices_per_cluster=3,
+        num_classes=6,
+        samples_per_class=18,
+        compute_dtype="float64",
+        seed=0,
+        fault_config=FaultConfig(**faults),
+    )
+
+
+class TestChaosOverWire:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        cfg = _chaos_config()
+        loop = ACMESystem(cfg).run()
+        mp = run_multiprocess(cfg, edge_timeout=300.0)
+        return loop, mp
+
+    def test_faults_were_actually_injected(self, runs):
+        loop, _mp = runs
+        assert sum(loop.fault_counts.values()) > 0
+
+    def test_fault_ledger_replays_identically(self, runs):
+        loop, mp = runs
+        assert mp.fault_counts == loop.fault_counts
+        assert mp.total_retries == loop.total_retries
+        assert mp.delivery_attempts == loop.delivery_attempts
+        assert mp.failed_deliveries == loop.failed_deliveries
+
+    def test_kind_sequences_identical(self, runs):
+        loop, mp = runs
+        assert mp.message_kinds == loop.message_kinds
+        assert mp.edge_message_kinds == loop.edge_message_kinds
+
+    def test_participation_and_results_identical(self, runs):
+        loop, mp = runs
+        assert [c.round_participation for c in mp.clusters] == [
+            c.round_participation for c in loop.clusters
+        ]
+        assert [c.device_accuracies for c in mp.clusters] == [
+            c.device_accuracies for c in loop.clusters
+        ]
+        assert [c.protocol_retries for c in mp.clusters] == [
+            c.protocol_retries for c in loop.clusters
+        ]
+        assert mp.participation == loop.participation
+
+    def test_traffic_bytes_identical_drops_included(self, runs):
+        # Dropped messages still leave the sender: bytes are accounted
+        # on both fabrics identically.
+        loop, mp = runs
+        assert mp.traffic.total_bytes == loop.traffic.total_bytes
+        assert dict(mp.traffic.by_kind) == dict(loop.traffic.by_kind)
+
+    def test_tcp_chaos_replays_against_itself(self):
+        cfg = _chaos_config(seed=11, drop=0.2)
+        first = run_multiprocess(cfg, edge_timeout=300.0)
+        second = run_multiprocess(cfg, edge_timeout=300.0)
+        assert first.fault_counts == second.fault_counts
+        assert first.message_kinds == second.message_kinds
+        assert [c.device_accuracies for c in first.clusters] == [
+            c.device_accuracies for c in second.clusters
+        ]
+
+    def test_dead_devices_respected_over_wire(self):
+        cfg = _chaos_config(seed=3, drop=0.0, duplicate=0.0, delay=0.0,
+                            churn=0.0, dead_devices=(1,))
+        loop = ACMESystem(cfg).run()
+        mp = run_multiprocess(cfg, edge_timeout=300.0)
+        assert loop.participation < 1.0
+        assert mp.participation == loop.participation
+        assert [c.device_accuracies for c in mp.clusters] == [
+            c.device_accuracies for c in loop.clusters
+        ]
+
+    def test_no_child_processes_leak(self, runs):
+        _ = runs
+        assert multiprocessing.active_children() == []

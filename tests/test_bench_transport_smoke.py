@@ -1,0 +1,61 @@
+"""Tier-1 smoke run of ``benchmarks/bench_transport.py``.
+
+The perf benches only run when a perf PR invokes them; this test drives
+the transport bench end to end in its ``--smoke`` mode (tiny shapes, no
+floor assertions, ``BENCH_perf.json`` untouched) so the script itself
+cannot rot between perf PRs — its imports, the loopback-vs-TCP campaign
+with its bit-parity asserts, the wire-codec-vs-npz loops, and the
+record plumbing all execute on every test run.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestBenchTransportSmoke:
+    def test_smoke_mode_runs_clean(self):
+        trajectory = REPO_ROOT / "BENCH_perf.json"
+        before = trajectory.read_bytes() if trajectory.exists() else None
+        full_results = REPO_ROOT / "bench_results" / "bench_transport.json"
+        full_before = full_results.read_bytes() if full_results.exists() else None
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "bench_transport.py"),
+                "--smoke",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=500,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "bench_transport_smoke" in result.stdout
+        assert "transport_tcp_overhead" in result.stdout
+
+        # Smoke mode must never touch the committed trajectory or the
+        # full run's diagnostic records.
+        after = trajectory.read_bytes() if trajectory.exists() else None
+        assert before == after
+        full_after = full_results.read_bytes() if full_results.exists() else None
+        assert full_before == full_after
+
+        # The smoke payload is the full machine-readable schema.
+        payload = json.loads(
+            (REPO_ROOT / "bench_results" / "bench_transport_smoke.json").read_text()
+        )
+        assert payload["schema"] == "perf/v1"
+        labels = {r["label"] for r in payload["results"]}
+        assert {"transport_tcp_overhead", "wire_codec_vs_npz"} <= labels
+        assert all(r.get("floor") is None for r in payload["results"])
+        overhead = next(
+            r for r in payload["results"] if r["label"] == "transport_tcp_overhead"
+        )
+        # The bench asserted bit-parity before recording; both legs ran.
+        assert overhead["tcp_s"] > 0 and overhead["loopback_s"] > 0
+        assert overhead["messages"] > 0
