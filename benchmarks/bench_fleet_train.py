@@ -50,6 +50,7 @@ from repro.models.blocks import HeaderSpec
 from repro.models.header_dag import DAGHeader
 from repro.models.headers import LinearHeader
 from repro.models.vit import VisionTransformer, ViTConfig
+from repro.nn.tensor import using_dtype
 from repro.train.fleet import fleet_importance_rounds, train_headers_fleet
 from repro.train.trainer import TrainConfig, train_header
 
@@ -190,7 +191,11 @@ def bench_fleet_importance(smoke: bool):
 
 
 def run_bench(smoke: bool = False):
-    records = [bench_fleet_train(smoke), bench_fleet_importance(smoke)]
+    # The docstring's parity claims — and the committed floor history —
+    # are statements about the float64 kernels; pin the engine dtype so
+    # the float32 engine default cannot silently change the workload.
+    with using_dtype("float64"):
+        records = [bench_fleet_train(smoke), bench_fleet_importance(smoke)]
     # Smoke runs exercise the full pipeline but never touch the committed
     # trajectory file or the full run's bench_results records.
     return emit_perf(

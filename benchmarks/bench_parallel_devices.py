@@ -18,10 +18,12 @@ and records two comparisons into the ``BENCH_perf.json`` trajectory
   hardware-independent.
 * ``cluster_finalize_wallclock_4workers`` — the actual wall-clock of
   ``edge.finalize(max_workers=4)`` vs the serial loop **on this host**.
-  On a multi-core host this approaches the makespan bound (the heavy
-  kernels release the GIL); on a single-core CI box it degrades to
-  roughly serial.  Its floor is therefore only an overhead guard
-  (parallel must never be catastrophically slower than serial).
+  On a host with ≥4 cores this approaches the makespan bound (the heavy
+  kernels release the GIL), so the record asserts a conservative real
+  speedup floor (≥1.3×); on a smaller box it degrades to roughly
+  serial and the floor relaxes to an overhead guard (parallel must
+  never be catastrophically slower than serial).  The makespan record
+  above stays the single-core CI contract either way.
 
 The bench also asserts the parallel run's per-device accuracies equal
 the serial run's **bit-for-bit under float64** — speed never buys a
@@ -58,6 +60,19 @@ MAKESPAN_FLOOR = 1.5
 #: a single-core machine where no real speedup is possible and GIL
 #: convoying between 4 Python-heavy training threads costs ~2x.
 WALLCLOCK_FLOOR = 0.2
+#: Strict wall-clock floor once the 4 workers are real cores: the heavy
+#: kernels release the GIL, so actual parallel speedup is demanded —
+#: conservative vs the ~3.5x makespan bound to absorb scheduler noise.
+WALLCLOCK_MULTICORE_FLOOR = 1.3
+
+
+def _wallclock_floor() -> float:
+    """Strict floor on a >=4-core host, overhead guard elsewhere."""
+    return (
+        WALLCLOCK_MULTICORE_FLOOR
+        if (os.cpu_count() or 1) >= WORKERS
+        else WALLCLOCK_FLOOR
+    )
 
 
 def _cluster_config() -> ACMEConfig:
@@ -135,11 +150,12 @@ def bench_cluster_finalize():
             "cluster_finalize_wallclock_4workers",
             fast={"best_s": parallel_wall, "mean_s": parallel_wall, **one_run},
             baseline={"best_s": serial_total, "mean_s": serial_total, **one_run},
-            floor=WALLCLOCK_FLOOR,
+            floor=_wallclock_floor(),
             workers=WORKERS,
             devices=DEVICES,
             host_cpus=os.cpu_count(),
-            metric="wall-clock on this host (floor = overhead guard only)",
+            metric="wall-clock on this host (strict floor on >=4 cores, "
+            "overhead guard otherwise)",
             parity="float64 per-device accuracies identical serial vs parallel",
         ),
     ]

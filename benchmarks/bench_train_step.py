@@ -49,7 +49,7 @@ from repro.models.blocks import HeaderSpec
 from repro.models.header_dag import DAGHeader
 from repro.models.vit import VisionTransformer, ViTConfig
 from repro.nn.optim import SGD, Adam
-from repro.nn.tensor import Tensor, _set_inplace_accumulation
+from repro.nn.tensor import Tensor, _set_inplace_accumulation, using_dtype
 from repro.train.trainer import TrainConfig, train_header
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -202,6 +202,15 @@ def bench_train_header(smoke: bool):
 
 
 def run_bench(smoke: bool = False):
+    # The committed floors and the fused-vs-reference bit-for-bit
+    # contract were measured under float64 (the protocol dtype pinned
+    # by ``ACMEConfig.compute_dtype``); the engine default flipped to
+    # float32 in PR 9, so the bench pins its historical dtype.
+    with using_dtype("float64"):
+        return _run_bench(smoke)
+
+
+def _run_bench(smoke: bool):
     records = [
         bench_optimizer_step(
             Adam,

@@ -30,6 +30,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         samples_per_class=args.samples,
         parallel_devices=args.workers,
         parallel_edges=args.edge_workers,
+        backend=args.backend,
         fleet_training=args.fleet,
         fault_config=fault_config,
         seed=args.seed,
@@ -154,6 +155,17 @@ def build_parser() -> argparse.ArgumentParser:
         "composes with --workers under a shared thread budget, and any "
         "value reproduces the serial results — traffic ledger included — "
         "exactly",
+    )
+    run.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="executor backend for the per-device fan-outs: 'thread' "
+        "overlaps the GIL-releasing numpy kernels; 'process' forks a "
+        "worker pool with device headers mapped over shared memory, so "
+        "the tape-bound phases (importance rounds, NAS child scoring) "
+        "scale past the GIL.  Either backend reproduces the serial "
+        "results bit for bit",
     )
     run.add_argument(
         "--fleet",

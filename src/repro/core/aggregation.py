@@ -43,13 +43,15 @@ def aggregation_weights(
     datasets: Optional[Sequence[ArrayDataset]] = None,
     seed: int = 0,
     max_workers: Union[int, str, None] = None,
+    backend: str = "thread",
 ) -> np.ndarray:
     """Row-stochastic weight matrix Ŵ for one aggregation method.
 
     ``max_workers`` fans the per-device feature extraction of the
-    similarity-based methods out across threads (same contract as
+    similarity-based methods out across executor workers — ``backend``
+    selects threads or forked processes (same contract as
     :func:`repro.core.similarity.build_similarity_matrix`: any worker
-    count yields the same matrix).
+    count and either backend yields the same matrix).
     """
     if method not in AGGREGATION_METHODS:
         raise ValueError(f"unknown method {method!r}; options: {AGGREGATION_METHODS}")
@@ -61,7 +63,12 @@ def aggregation_weights(
         raise ValueError(f"method {method!r} needs a backbone and device datasets")
     metric = "wasserstein" if method == "ours" else "js"
     return build_similarity_matrix(
-        backbone, list(datasets), metric=metric, seed=seed, max_workers=max_workers
+        backbone,
+        list(datasets),
+        metric=metric,
+        seed=seed,
+        max_workers=max_workers,
+        backend=backend,
     )
 
 
@@ -321,6 +328,7 @@ def personalized_architecture_aggregation(
     importance_config: Optional[ImportanceConfig] = None,
     seed: int = 0,
     max_workers: Union[int, str, None] = None,
+    backend: str = "thread",
 ) -> AggregationResult:
     """Algorithm 2: generate fine headers for one device cluster.
 
@@ -345,6 +353,9 @@ def personalized_architecture_aggregation(
         for the similarity matrix, and each round's importance sets).
         Per-device work is state-disjoint and results stay in device
         order, so any worker count reproduces the serial result.
+        ``backend="process"`` runs the same fan-outs on forked workers,
+        with each round's header mutations written through shared
+        memory — still bit-identical to the serial loop.
     """
     from repro.distributed.executor import parallel_map  # lazy: avoids import cycle
 
@@ -356,7 +367,8 @@ def personalized_architecture_aggregation(
     n = len(headers)
     # Algorithm 2 line 2: the similarity matrix is computed once, up front.
     weights = aggregation_weights(
-        method, n, backbone, datasets, seed=seed, max_workers=max_workers
+        method, n, backbone, datasets, seed=seed, max_workers=max_workers,
+        backend=backend,
     )
     result = AggregationResult(headers=list(headers), weights=weights)
 
@@ -369,6 +381,8 @@ def personalized_architecture_aggregation(
             list(zip(headers, datasets)),
             max_workers=max_workers,
             serial_if_stochastic=(backbone,),
+            backend=backend,
+            shared_params=[list(h.parameters()) for h in headers],
         )
         upload = sum(q.nbytes for q in importance_sets)  # devices upload Q_n (line 6)
 

@@ -92,6 +92,13 @@ class NASConfig:
     #: then scored concurrently (pure inference, deterministic results in
     #: sample order).  ``None``/0/1 = serial; -1/"auto" = CPU count.
     parallel_workers: Union[int, str, None] = None
+    #: Executor backend for the child-scoring fan-out: ``"thread"``
+    #: (default) or ``"process"``.  Scoring reads shared state (the
+    #: backbone, the op pool) and writes none that outlives the task —
+    #: rewards come back over the result pipe — so the process backend
+    #: needs no shared-memory arena here; it simply moves the tape-bound
+    #: child forwards past the GIL.  Deterministic either way.
+    backend: str = "thread"
     #: Serve the scoring batches' backbone features from one stacked
     #: tape-free forward shared by every child (repro.train.serving)
     #: instead of recomputing them per child — numerically identical
@@ -332,6 +339,7 @@ class HeaderSearch:
             children,
             max_workers=self.config.parallel_workers,
             serial_if_stochastic=(self.backbone, *children),
+            backend=self.config.backend,
         )
 
     def _update_controller(self, val_set: ArrayDataset) -> float:

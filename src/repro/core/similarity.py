@@ -350,6 +350,7 @@ def build_similarity_matrix(
     temperature: float = 0.05,
     max_workers: Union[int, str, None] = None,
     batched: bool = True,
+    backend: str = "thread",
 ) -> np.ndarray:
     """End-to-end Eq. (19)+(20): Ŵ_s from device datasets.
 
@@ -361,8 +362,10 @@ def build_similarity_matrix(
     (:func:`repro.train.serving.batched_extract_features`) — per-sample
     results, and hence the matrix, are identical to per-dataset forwards.
     Otherwise extraction is an independent forward per dataset, fanned
-    out across ``max_workers`` threads with features kept in dataset
-    order, so any worker count yields the same matrix.  If the shared
+    out across ``max_workers`` executor workers (``backend`` selects
+    threads or forked processes; extraction is read-only, so the
+    process backend needs no shared state) with features kept in
+    dataset order, so any worker count yields the same matrix.  If the shared
     model would consume module-local RNG during forwards (a
     training-mode ``Dropout`` with ``p > 0``), batching is skipped and
     the fan-out drops to serial so a single deterministic stream is
@@ -385,6 +388,7 @@ def build_similarity_matrix(
             list(enumerate(datasets)),
             max_workers=max_workers,
             serial_if_stochastic=(model,),
+            backend=backend,
         )
     distances = distance_matrix(features, metric=metric, seed=seed)
     return regularize_similarity(

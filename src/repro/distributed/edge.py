@@ -59,6 +59,15 @@ class EdgeConfig:
     #: Results are ordered by device, so any worker count reproduces the
     #: serial run exactly (see repro.distributed.executor).
     parallel_devices: WorkerSpec = None
+    #: Executor backend for those fan-outs: ``"thread"`` (default) or
+    #: ``"process"``.  The process backend forks workers that mutate
+    #: each device's header through a shared-memory mapping
+    #: (:mod:`repro.distributed.procpool`) — bit-for-bit identical to
+    #: the thread and serial paths, but scaling the tape-bound phases
+    #: past the GIL.  Lazy-state clusters (``DeviceStateLRU``) already
+    #: run their rounds serially, so the backend only applies to live
+    #: clusters whose headers exist in the parent.
+    backend: str = "thread"
     #: Serve the cluster's final evaluation through one batched backbone
     #: forward per round (repro.train.serving) when every device holds
     #: the same frozen backbone — numerically identical to per-device
@@ -479,7 +488,10 @@ class EdgeServer:
                     ),
                     participants,
                     max_workers=workers,
+                    backend=self.config.backend,
+                    shared_params=self._shared_header_params(participants),
                 )
+                self._harvest_feature_samples(participants, messages)
             else:
                 messages = []
             for message in messages:
@@ -621,6 +633,43 @@ class EdgeServer:
         )
 
     # ------------------------------------------------------------------
+    def _shared_header_params(self, devices: Sequence[DeviceNode]):
+        """Write-through state for a process-backend fan-out.
+
+        A device's round task (importance round / finetune / finalize)
+        mutates exactly its own header parameters, so those are what the
+        process backend maps into shared memory; every other mutation
+        (prune masks, the network ledger) happens in the parent.  Thread
+        and serial backends share memory natively — return ``None`` so
+        the executor skips the arena entirely.
+        """
+        if self.config.backend != "process":
+            return None
+        return [
+            list(d.header.parameters()) if d.header is not None else []
+            for d in devices
+        ]
+
+    def _harvest_feature_samples(
+        self, devices: Sequence[DeviceNode], messages: Sequence[Message]
+    ) -> None:
+        """Re-seat the per-device feature-sample cache after a process round.
+
+        A forked worker's assignment to ``device._feature_sample`` is
+        private to the worker; the sample itself still travels back in
+        the upload payload.  Caching it here keeps the process backend's
+        round-over-round behavior identical to threads (the sample is a
+        deterministic pure function of the frozen backbone and seed, so
+        this is a wall-clock concern, never a value one).
+        """
+        if self.config.backend != "process":
+            return
+        for device, message in zip(devices, messages):
+            sample = message.payload.get("feature_sample")
+            if sample is not None and device._feature_sample is None:
+                device._feature_sample = sample
+
+    # ------------------------------------------------------------------
     #: Sentinel distinguishing "caller did not pass max_workers" (use the
     #: config) from an explicit ``None`` (serial, per the executor contract).
     _USE_CONFIG_WORKERS = object()
@@ -684,6 +733,8 @@ class EdgeServer:
                     lambda device: device.finetune(),
                     devices,
                     max_workers=max_workers,
+                    backend=self.config.backend,
+                    shared_params=self._shared_header_params(devices),
                 )
             return serving.batched_evaluate_headers(
                 devices[0].backbone,
@@ -691,15 +742,19 @@ class EdgeServer:
                 [d.eval_dataset() for d in devices],
             )
         if fleet_ready:
+            # Evaluation is read-only — no write-through state to share.
             return parallel_map(
                 lambda device: device.evaluate(),
                 devices,
                 max_workers=max_workers,
+                backend=self.config.backend,
             )
         return parallel_map(
             lambda device: device.finalize_round(),
             devices,
             max_workers=max_workers,
+            backend=self.config.backend,
+            shared_params=self._shared_header_params(devices),
         )
 
     def _finalize_lazy(self, devices: List[DeviceNode]) -> List[dict]:

@@ -20,10 +20,20 @@ tests rely on:
   also the reference behavior parallel runs are asserted against.
 
 Worker counts: pass an explicit positive integer, or ``-1`` /
-``"auto"`` to use the host's CPU count.  Thread-based parallelism is the
-right fit for this engine because the heavy kernels (BLAS matmuls,
-ufuncs, sorts) release the GIL; on a single-core host the pool degrades
-gracefully to roughly serial wall-clock with identical results.
+``"auto"`` to use the host's CPU count.
+
+Backends: ``backend="thread"`` (default) overlaps the GIL-releasing
+numpy kernels (BLAS matmuls, ufuncs, sorts) — the right fit for
+inference-heavy fan-outs.  ``backend="process"`` forks a worker pool
+(:mod:`repro.distributed.procpool`) so the *tape-bound* phases, whose
+Python-level autograd bookkeeping holds the GIL, scale past it; the
+caller can designate per-item tensors to share write-through via
+``shared_params`` (mapped zero-copy over ``multiprocessing.shared_memory``).
+Both backends produce bit-for-bit the results of the serial loop; on a
+single-core host they degrade gracefully to roughly serial wall-clock
+with identical results.  ``backend="process"`` silently downgrades to
+threads inside a pool worker (no nested forking) and on platforms
+without the ``fork`` start method.
 """
 
 from __future__ import annotations
@@ -33,10 +43,25 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
 
+from repro.distributed.procpool import ExecutorError  # noqa: F401  (re-export)
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 WorkerSpec = Union[int, str, None]
+
+#: Executor backends accepted everywhere a ``backend`` knob exists
+#: (``parallel_map``, ``ACMEConfig``, ``repro-cli run --backend``).
+BACKENDS = ("thread", "process")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate a backend spec (``None`` means the thread default)."""
+    if backend is None:
+        return "thread"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown executor backend {backend!r}; use one of {BACKENDS}")
+    return backend
 
 
 def resolve_workers(max_workers: WorkerSpec, num_tasks: Optional[int] = None) -> int:
@@ -74,6 +99,7 @@ def split_worker_budget(
     inner: WorkerSpec,
     num_outer_tasks: Optional[int] = None,
     budget: Optional[int] = None,
+    inner_backend: str = "thread",
 ) -> "tuple[int, WorkerSpec]":
     """Split a thread budget between an outer fan-out and its nested one.
 
@@ -91,15 +117,27 @@ def split_worker_budget(
     requested product already fits the budget.  ``resolve_workers``
     semantics apply to both specs (``None``/0/1 serial, ``-1``/"auto"
     = CPU count).
+
+    ``inner_backend`` makes the split backend-aware: thread workers may
+    exceed the core budget when the outer fan-out is serial (harmless —
+    the GIL-releasing kernels just time-slice), but **process** workers
+    each occupy a full core and cost a fork plus a private heap, so an
+    inner ``backend="process"`` width is clamped to the budget even
+    with no outer fan-out around it.
     """
+    inner_backend = resolve_backend(inner_backend)
+    if budget is None:
+        budget = os.cpu_count() or 1
     outer_workers = resolve_workers(outer, num_tasks=num_outer_tasks)
     if outer_workers <= 1:
+        if inner_backend == "process":
+            inner_workers = resolve_workers(inner)
+            if inner_workers > 1:
+                return outer_workers, min(inner_workers, max(1, budget))
         return outer_workers, inner
     inner_workers = resolve_workers(inner)
     if inner_workers <= 1:
         return outer_workers, inner
-    if budget is None:
-        budget = os.cpu_count() or 1
     capped = max(1, budget // outer_workers)
     return outer_workers, min(inner_workers, capped)
 
@@ -109,8 +147,10 @@ def parallel_map(
     items: Iterable[T],
     max_workers: WorkerSpec = None,
     serial_if_stochastic: Sequence[object] = (),
+    backend: str = "thread",
+    shared_params: Optional[Sequence[Sequence[object]]] = None,
 ) -> List[R]:
-    """Apply ``fn`` to every item, possibly across threads.
+    """Apply ``fn`` to every item, possibly across threads or processes.
 
     Results are returned in input order regardless of completion order.
     Each task runs inside a copy of the caller's ``contextvars`` context,
@@ -126,7 +166,19 @@ def parallel_map(
     drops to serial: concurrent draws from one numpy generator are
     neither deterministic nor safe, and every fan-out site gets that
     guard from here instead of re-implementing it.
+
+    ``backend="process"`` runs the fan-out on a forked worker pool
+    (:mod:`repro.distributed.procpool`): tasks whose bottleneck is
+    Python-level autograd bookkeeping scale past the GIL, at the price
+    of a fork per pool.  ``shared_params`` (aligned with ``items``)
+    names the tensors each task mutates; they are mapped write-through
+    into the workers over ``multiprocessing.shared_memory`` and
+    restored to private heap arrays after the join.  Thread and serial
+    backends ignore ``shared_params`` — threads share memory natively.
+    A worker crash raises :class:`ExecutorError`; task exceptions
+    re-raise as themselves, like the thread backend.
     """
+    backend = resolve_backend(backend)
     if serial_if_stochastic:
         from repro.nn.layers import has_active_stochastic_modules
 
@@ -134,8 +186,17 @@ def parallel_map(
             max_workers = None
     items = list(items)
     workers = resolve_workers(max_workers, num_tasks=len(items))
+    if backend == "process":
+        from repro.distributed import procpool
+
+        if procpool.in_worker() or not procpool.fork_available():
+            backend = "thread"
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if backend == "process":
+        from repro.distributed import procpool
+
+        return procpool.process_map(fn, items, workers, shared_params=shared_params)
     # One context snapshot per task: tasks must not observe each other's
     # engine-state mutations, only the caller's state at submit time.
     contexts = [contextvars.copy_context() for _ in items]
@@ -150,6 +211,21 @@ def parallel_starmap(
     fn: Callable[..., R],
     argument_tuples: Sequence[tuple],
     max_workers: WorkerSpec = None,
+    serial_if_stochastic: Sequence[object] = (),
+    backend: str = "thread",
+    shared_params: Optional[Sequence[Sequence[object]]] = None,
 ) -> List[R]:
-    """:func:`parallel_map` for callables taking multiple arguments."""
-    return parallel_map(lambda args: fn(*args), list(argument_tuples), max_workers)
+    """:func:`parallel_map` for callables taking multiple arguments.
+
+    Forwards ``serial_if_stochastic`` (historically dropped here, so
+    starmap call sites silently lost the dropout-safety fallback),
+    ``backend`` and ``shared_params`` unchanged.
+    """
+    return parallel_map(
+        lambda args: fn(*args),
+        list(argument_tuples),
+        max_workers,
+        serial_if_stochastic=serial_if_stochastic,
+        backend=backend,
+        shared_params=shared_params,
+    )

@@ -1,0 +1,474 @@
+"""Process backend for :func:`repro.distributed.executor.parallel_map`.
+
+The thread backend (PR 2) overlaps the GIL-releasing numpy kernels, but
+the tape-bound phases — importance rounds, NAS child scoring, header
+training — spend most of their time in Python-level autograd
+bookkeeping that holds the GIL, so thread fan-outs cap out well below
+core count exactly where the protocol spends its time.  This module
+runs the same fan-out across **forked worker processes**, preserving
+the executor's contract (deterministic input-order results, engine
+contextvar propagation, exception transparency) and adding the two
+pieces a process boundary needs:
+
+* **a shared-memory arena** (:class:`SharedParamArena`): designated
+  mutable tensors — in practice each device's header parameters, which
+  the fused optimizers already keep in contiguous per-dtype flat
+  buffers — are migrated into one ``multiprocessing.shared_memory``
+  segment per dtype *before* the fork.  ``Tensor.data`` is rebound to a
+  zero-copy view of the segment, so the forked workers inherit
+  write-through mappings of exactly the state their tasks mutate.  A
+  task that rebinds ``p.data`` off the view mid-flight (a fresh fused
+  optimizer building its own flat heap buffer does exactly that) is
+  reconciled by an explicit per-item write-back sweep.  After the join
+  the parent copies the final values back to private heap arrays,
+  restores grads, notifies live optimizers through the PR 5 rebind
+  machinery, and unlinks the segments — no ``/dev/shm`` entry survives
+  any exit path.
+
+* **wire-codec task transport**: results cross the pipe as
+  ``distributed/wire.py`` payloads (the compact tagged binary codec the
+  TCP transport uses, bit-exact for numpy arrays) instead of pickle,
+  falling back to pickle only for values the codec does not know.
+
+Fork is the consistency point: with the ``"fork"`` start method the
+workers inherit the caller's live objects (closures, datasets, modules)
+copy-on-write and the calling thread's ``contextvars`` context — no
+argument pickling, and engine state (grad mode, dtype, fast-pow)
+propagates exactly as the thread backend's per-task context snapshots
+do.  Each task still runs inside its own ``copy_context()`` so tasks
+cannot observe each other's engine-state mutations.
+
+A worker that dies mid-task (segfault, OOM kill, SIGKILL) surfaces as a
+clean :class:`ExecutorError` — never a hang: the parent treats EOF on a
+result pipe before the worker's done-marker as a crash, reaps the whole
+pool (terminate → kill → join), and demotes/unlinks the arena on the
+way out.  Workers exit through ``os._exit`` so a forked child never
+runs the parent's atexit machinery.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import pickle
+import threading
+import traceback
+from multiprocessing import connection, get_context
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ExecutorError",
+    "SharedParamArena",
+    "fork_available",
+    "in_worker",
+    "process_map",
+]
+
+
+class ExecutorError(RuntimeError):
+    """A worker process died or the pool failed structurally.
+
+    Task-level exceptions re-raise as themselves (matching the thread
+    backend); this error is reserved for faults the task could not have
+    raised — a SIGKILLed worker, an unpicklable crash, a lost pipe.
+    """
+
+
+#: True inside a pool worker.  ``parallel_map`` consults this to
+#: downgrade a nested ``backend="process"`` request to threads — a
+#: worker forking its own pool would multiply processes geometrically.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Whether the current process is a pool worker (nested-fork guard)."""
+    return _IN_WORKER
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists (POSIX only).
+
+    Without it the zero-copy design (COW closures, inherited shm
+    mappings, inherited contextvars) does not hold, so ``parallel_map``
+    silently falls back to the thread backend.
+    """
+    try:
+        return "fork" in __import__("multiprocessing").get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _reinit_locks_after_fork() -> None:
+    """Replace module-level engine locks that another parent thread may
+    have held at fork time.
+
+    The GIL guarantees the guarded structures themselves are consistent
+    at any bytecode boundary; only lock *ownership* transfers into the
+    child, where the owning thread no longer exists.  Fresh locks make
+    the child deadlock-free.  (Instance locks on network shards,
+    transports and serving fronts are not touched because worker tasks
+    never reach them — sends happen in the parent, in device order.)
+    """
+    from repro.core import similarity
+    from repro.distributed import messages
+    from repro.nn import init, optim
+
+    optim._REGISTRY_LOCK = threading.Lock()
+    init._STATE_LOCK = threading.Lock()
+    messages._SEQUENCE_LOCK = threading.Lock()
+    similarity._PROJECTION_CACHE_LOCK = threading.Lock()
+
+
+class _ParamRecord:
+    """One tensor's slot in the arena: views + the grad-presence flag index."""
+
+    __slots__ = ("param", "data_view", "grad_view", "flag_index", "flags")
+
+    def __init__(self, param, data_view, grad_view, flag_index, flags) -> None:
+        self.param = param
+        self.data_view = data_view
+        self.grad_view = grad_view
+        self.flag_index = flag_index
+        self.flags = flags
+
+
+class SharedParamArena:
+    """Write-through shared-memory mapping for designated tensors.
+
+    ``param_lists`` is aligned with the executor's ``items``: entry *i*
+    names the tensors item *i*'s task mutates (typically one device's
+    header parameters).  Layout mirrors the fused optimizers' flat
+    groups — one segment per dtype holding ``[data | grad | flags]``
+    with every parameter's span contiguous — which is exactly the shape
+    ``multiprocessing.shared_memory`` maps zero-copy.
+
+    Lifecycle: the parent constructs the arena (promoting ``p.data`` to
+    segment views), forks, workers call :meth:`writeback` after each of
+    their items, and the parent calls :meth:`demote` exactly once in a
+    ``finally`` — restoring heap-backed data/grad arrays, notifying
+    live optimizers via :func:`repro.nn.optim.notify_params_rebound`,
+    and closing **and unlinking** every segment.
+    """
+
+    def __init__(self, param_lists: Sequence[Sequence[object]]) -> None:
+        param_lists = [list(params) for params in param_lists]
+        self._records: Dict[int, _ParamRecord] = {}
+        self._by_item: List[List[_ParamRecord]] = []
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._demoted = False
+
+        unique: List[object] = []
+        for params in param_lists:
+            for p in params:
+                if id(p) not in self._records:
+                    self._records[id(p)] = None  # placeholder, ordered
+                    unique.append(p)
+
+        by_dtype: Dict[np.dtype, List[object]] = {}
+        for p in unique:
+            by_dtype.setdefault(p.data.dtype, []).append(p)
+
+        for dtype, params in by_dtype.items():
+            itemsize = np.dtype(dtype).itemsize
+            total = sum(int(p.data.size) for p in params)
+            nbytes = 2 * total * itemsize + len(params)
+            shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+            self._segments.append(shm)
+            flags = np.ndarray((len(params),), dtype=np.uint8, buffer=shm.buf,
+                               offset=2 * total * itemsize)
+            offset = 0
+            for k, p in enumerate(params):
+                shape = p.data.shape
+                data_view = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
+                                       offset=offset * itemsize)
+                grad_view = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
+                                       offset=(total + offset) * itemsize)
+                np.copyto(data_view, p.data)
+                if p.grad is not None:
+                    np.copyto(grad_view, p.grad)
+                    flags[k] = 1
+                else:
+                    flags[k] = 0
+                p.data = data_view
+                self._records[id(p)] = _ParamRecord(p, data_view, grad_view, k, flags)
+                offset += int(p.data.size)
+
+        for params in param_lists:
+            self._by_item.append([self._records[id(p)] for p in params])
+
+    # ------------------------------------------------------------------
+    def writeback(self, item_index: int) -> None:
+        """Worker side: flush item *i*'s final param values into the segment.
+
+        A no-op for tensors still bound to their views (writes already
+        went through); tensors a task rebound (fused optimizers build
+        their own flat heap buffers) are copied back explicitly.
+        """
+        for rec in self._by_item[item_index]:
+            p = rec.param
+            if p.data is not rec.data_view:
+                if p.data.shape != rec.data_view.shape:
+                    raise ExecutorError(
+                        f"shared param changed shape {rec.data_view.shape} -> "
+                        f"{p.data.shape} inside a process worker"
+                    )
+                np.copyto(rec.data_view, p.data)
+            if p.grad is None:
+                rec.flags[rec.flag_index] = 0
+            else:
+                if p.grad is not rec.grad_view:
+                    np.copyto(rec.grad_view, p.grad)
+                rec.flags[rec.flag_index] = 1
+
+    # ------------------------------------------------------------------
+    def demote(self) -> None:
+        """Parent side: restore private heap arrays and unlink every segment.
+
+        Idempotent.  Runs on success *and* error paths so no
+        ``/dev/shm`` entry can outlive the fan-out.
+        """
+        if self._demoted:
+            return
+        self._demoted = True
+        rebound: Dict[np.dtype, list] = {}
+        for rec in self._records.values():
+            p = rec.param
+            heap = np.array(rec.data_view, copy=True)
+            p.data = heap
+            if rec.flags[rec.flag_index]:
+                p.grad = np.array(rec.grad_view, copy=True)
+            else:
+                p.grad = None
+            rebound.setdefault(heap.dtype, []).append(p)
+        for shm in self._segments:
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+        self._segments = []
+        if rebound:
+            from repro.nn.optim import notify_params_rebound
+
+            for dtype, params in rebound.items():
+                notify_params_rebound(params, dtype)
+
+
+# ----------------------------------------------------------------------
+# Result transport: wire codec first, pickle fallback.
+# ----------------------------------------------------------------------
+_TAG_WIRE = b"W"
+_TAG_PICKLE = b"P"
+_TAG_ERROR = b"E"
+_TAG_DONE = b"D"
+
+
+def _encode_result(index: int, result) -> bytes:
+    from repro.distributed import wire
+
+    try:
+        return _TAG_WIRE + wire.encode_value((index, result))
+    except Exception:
+        return _TAG_PICKLE + pickle.dumps((index, result))
+
+
+def _encode_error(index: int, exc: BaseException) -> bytes:
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        return _TAG_ERROR + pickle.dumps((index, exc, text))
+    except Exception:
+        return _TAG_ERROR + pickle.dumps((index, None, text))
+
+
+def _decode_payload(data: bytes):
+    from repro.distributed import wire
+
+    tag, body = data[:1], data[1:]
+    if tag == _TAG_WIRE:
+        return "result", wire.decode_value(body)
+    if tag == _TAG_PICKLE:
+        return "result", pickle.loads(body)
+    if tag == _TAG_ERROR:
+        return "error", pickle.loads(body)
+    if tag == _TAG_DONE:
+        return "done", None
+    raise ExecutorError(f"unknown process-pool payload tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker main loop (runs in the forked child).
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    num_workers: int,
+    fn: Callable,
+    items: Sequence,
+    conn,
+    arena: Optional[SharedParamArena],
+) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    _reinit_locks_after_fork()
+    try:
+        for index in range(worker_id, len(items), num_workers):
+            try:
+                # Fresh context copy per task, exactly like the thread
+                # backend: the fork already carried the caller's context
+                # here, and per-task copies keep tasks isolated.
+                result = contextvars.copy_context().run(fn, items[index])
+                if arena is not None:
+                    arena.writeback(index)
+            except BaseException as exc:  # noqa: BLE001 - transported to parent
+                conn.send_bytes(_encode_error(index, exc))
+                continue
+            conn.send_bytes(_encode_result(index, result))
+        conn.send_bytes(_TAG_DONE)
+    except Exception:  # pragma: no cover - broken pipe means parent is gone
+        pass
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+        # Skip the parent's inherited atexit handlers / resource tracker:
+        # the child owns nothing — the parent unlinks the arena.
+        os._exit(0)
+
+
+def _reap(procs: List) -> None:
+    """Terminate → kill → join every worker; never leaves an orphan."""
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - terminate should suffice
+            proc.kill()
+            proc.join(timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+def process_map(
+    fn: Callable,
+    items: Sequence,
+    workers: int,
+    shared_params: Optional[Sequence[Sequence[object]]] = None,
+) -> List:
+    """Map ``fn`` over ``items`` across ``workers`` forked processes.
+
+    The executor facade (:func:`repro.distributed.executor.parallel_map`)
+    is the public entry point — it handles worker resolution, serial
+    fallback, the stochastic-module guard and the nested-fork
+    downgrade before delegating here with ``workers >= 2`` and
+    ``len(items) >= 2``.
+
+    Items are partitioned statically by stride (worker *w* takes items
+    ``w, w + workers, …``), results return in input order, and the
+    first task exception (by input index, matching the thread backend's
+    submission-order semantics) re-raises in the parent.  A worker that
+    dies without its done-marker raises :class:`ExecutorError` after
+    the pool is reaped.
+    """
+    if shared_params is not None and len(shared_params) != len(items):
+        raise ValueError(
+            f"shared_params has {len(shared_params)} entries for {len(items)} items"
+        )
+    # Pre-import everything the child's transport path needs, so a fork
+    # taken while another thread holds the import lock cannot deadlock.
+    from repro.distributed import wire  # noqa: F401
+    from repro.nn import init, layers, optim  # noqa: F401
+
+    ctx = get_context("fork")
+    n = len(items)
+    workers = min(workers, n)
+    arena = SharedParamArena(shared_params) if shared_params else None
+
+    results: List = [None] * n
+    received = [False] * n
+    errors: Dict[int, Tuple[Optional[BaseException], str]] = {}
+    procs: List = []
+    conns: List = []
+    try:
+        for w in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(w, workers, fn, items, child_conn, arena),
+                daemon=True,
+            )
+            proc.start()
+            # Close the parent's copy of the write end: EOF on the read
+            # end then means "the worker is gone", which is what turns a
+            # SIGKILLed worker into ExecutorError instead of a hang.
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+
+        live = {conns[w]: w for w in range(workers)}
+        done = set()
+        while live:
+            ready = connection.wait(list(live), timeout=1.0)
+            if not ready:
+                for conn, w in list(live.items()):
+                    if not procs[w].is_alive():
+                        _reap(procs)
+                        raise ExecutorError(
+                            f"process-pool worker {w} died without a result "
+                            f"(exitcode {procs[w].exitcode})"
+                        )
+                continue
+            for conn in ready:
+                w = live[conn]
+                try:
+                    data = conn.recv_bytes()
+                except EOFError:
+                    _reap(procs)
+                    raise ExecutorError(
+                        f"process-pool worker {w} died mid-task "
+                        f"(exitcode {procs[w].exitcode})"
+                    ) from None
+                kind, payload = _decode_payload(data)
+                if kind == "done":
+                    done.add(w)
+                    del live[conn]
+                    conn.close()
+                elif kind == "error":
+                    index, exc, text = payload
+                    errors[index] = (exc, text)
+                    received[index] = True
+                else:
+                    index, value = payload
+                    results[index] = value
+                    received[index] = True
+
+        for proc in procs:
+            proc.join(timeout=10.0)
+        if any(proc.is_alive() for proc in procs):  # pragma: no cover
+            _reap(procs)
+            raise ExecutorError("process-pool worker failed to exit after done-marker")
+        if not all(received):
+            missing = [i for i, r in enumerate(received) if not r]
+            raise ExecutorError(f"process pool lost results for items {missing}")
+        if errors:
+            index = min(errors)
+            exc, text = errors[index]
+            if exc is not None:
+                raise exc
+            raise ExecutorError(
+                f"task {index} raised an untransportable exception:\n{text}"
+            )
+        return results
+    finally:
+        _reap(procs)
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        if arena is not None:
+            arena.demote()

@@ -31,7 +31,12 @@ from repro.data.synthetic import SyntheticImageGenerator, make_cifar100_like
 from repro.distributed.cloud import CloudConfig, CloudServer
 from repro.distributed.device import DeviceNode
 from repro.distributed.edge import EdgeConfig, EdgeServer
-from repro.distributed.executor import WorkerSpec, parallel_map, split_worker_budget
+from repro.distributed.executor import (
+    WorkerSpec,
+    parallel_map,
+    resolve_backend,
+    split_worker_budget,
+)
 from repro.distributed.faults import FaultConfig, FaultPolicy
 from repro.distributed.metrics import centralized_upload_bytes
 from repro.distributed.network import Network, NetworkShard, TrafficStats
@@ -71,7 +76,15 @@ class ACMEConfig:
     #: speedups and accuracy deltas.  The engine default dtype is scoped
     #: to construction and ``run()`` (models are built in both) and
     #: restored on exit, so it never leaks into the rest of the process.
-    compute_dtype: Optional[str] = None
+    #:
+    #: Defaults to ``"float64"`` — NOT ``None`` — deliberately: the
+    #: engine-wide default flipped to float32 (PR 9), and pinning
+    #: float64 here keeps every published protocol number (the
+    #: quickstart's 0.992/0.650, the Table-I campaign traces, all
+    #: bit-parity fixtures) exactly where PRs 1–8 left them.  Pass
+    #: ``"float32"`` for the fast serving mode, or ``None`` to inherit
+    #: the ambient engine default.
+    compute_dtype: Optional[str] = "float64"
     #: Worker threads for the embarrassingly parallel cluster phases
     #: (per-device importance rounds, finalize/eval, NAS child scoring).
     #: ``None``/0/1 = serial; -1/"auto" = host CPU count.  The engine's
@@ -125,6 +138,17 @@ class ACMEConfig:
     #: every path is bit-for-bit identical to the always-live default
     #: (``None``) — tested in tests/distributed/test_state_store.py.
     device_state_capacity: Optional[int] = None
+    #: Executor backend for the intra-edge fan-outs (importance rounds,
+    #: finalize/eval, similarity features, NAS child scoring):
+    #: ``"thread"`` (default) or ``"process"``.  The process backend
+    #: (:mod:`repro.distributed.procpool`) forks workers that mutate
+    #: device headers through shared-memory mappings of the fused flat
+    #: buffers, so the tape-bound phases scale past the GIL; results are
+    #: bit-for-bit identical across backends
+    #: (tests/distributed/test_process_backend.py).  The cross-edge tier
+    #: (``parallel_edges``) always stays thread-backed — edge pipelines
+    #: mutate the network fabric, which lives in the parent.
+    backend: str = "thread"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -157,15 +181,22 @@ class ACMEConfig:
         # When the edge tier itself fans out (parallel_edges), the
         # nested per-device width is capped so the two tiers' product
         # stays within the host thread budget.
+        self.backend = resolve_backend(self.backend)
         _, device_spec = split_worker_budget(
             self.parallel_edges,
             self.parallel_devices,
             num_outer_tasks=self.num_clusters,
+            inner_backend=self.backend,
         )
         if self.edge.parallel_devices is None:
             self.edge.parallel_devices = device_spec
-        if self.edge.nas is not None and self.edge.nas.parallel_workers is None:
-            self.edge.nas.parallel_workers = device_spec
+        if self.edge.backend == "thread" and self.backend != "thread":
+            self.edge.backend = self.backend
+        if self.edge.nas is not None:
+            if self.edge.nas.parallel_workers is None:
+                self.edge.nas.parallel_workers = device_spec
+            if self.edge.nas.backend == "thread" and self.backend != "thread":
+                self.edge.nas.backend = self.backend
         if self.fleet_training:
             self.edge.fleet_training = True
 
@@ -544,9 +575,14 @@ class ACMESystem:
         similarity matrix), the cloud's immutable/per-edge-safe request
         path, and — when ``shard`` is given — that shard's private
         ledger, so any number of edges can run concurrently.
+
+        Applies ``compute_dtype`` like the other phase methods do
+        (re-entering the scope is a no-op under ``run_cluster_loop``),
+        so edge-by-edge drivers stay bit-identical to ``run()`` under
+        the float32 engine default.
         """
         scope = shard.activate() if shard is not None else contextlib.nullcontext()
-        with scope:
+        with self._dtype_scope(), scope:
             return run_edge_phases(self.config, edge)
 
     def run_cluster_loop(self) -> List[ClusterResult]:

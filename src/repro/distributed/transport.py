@@ -59,6 +59,7 @@ import abc
 import asyncio
 import concurrent.futures
 import contextlib
+import contextvars
 import itertools
 import threading
 import time
@@ -113,11 +114,24 @@ def _now() -> float:
 # Event-loop host
 # ---------------------------------------------------------------------------
 class _LoopThread:
-    """A private asyncio loop on a daemon thread, driven synchronously."""
+    """A private asyncio loop on a daemon thread, driven synchronously.
+
+    The loop thread runs inside a snapshot of the *creating* thread's
+    ``contextvars`` context.  Fresh threads otherwise start from the
+    engine's contextvar defaults — float32 since the PR 9 dtype flip —
+    so a cloud process that configured ``using_dtype("float64")`` would
+    silently serve its request handlers in float32 and diverge from the
+    loopback transport at the 8th digit.  Capturing the context here
+    matches the executor's submit-time capture semantics and keeps the
+    TCP tier bit-for-bit with loopback.
+    """
 
     def __init__(self, name: str) -> None:
         self.loop = asyncio.new_event_loop()
-        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        context = contextvars.copy_context()
+        self._thread = threading.Thread(
+            target=lambda: context.run(self._run), name=name, daemon=True
+        )
         self._thread.start()
 
     def _run(self) -> None:
@@ -343,9 +357,22 @@ class _Endpoint:
         self.config = config
         self.loop_thread = _LoopThread(f"wire-{name}")
         # One worker: inbound handlers run serially, so the receiving
-        # fabric's ledger order is deterministic.
+        # fabric's ledger order is deterministic.  The worker is seeded
+        # with the creating thread's contextvars (fresh threads start
+        # from the engine defaults — float32 — which would silently
+        # drop a ``using_dtype("float64")`` scope the endpoint was built
+        # under); it keeps its own live context afterwards, so handler
+        # mutations persist across requests like any thread's would.
+        context = contextvars.copy_context()
+
+        def _seed_worker_context() -> None:
+            for var, value in context.items():
+                var.set(value)
+
         self.handler_pool = concurrent.futures.ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"wire-{name}-handler"
+            max_workers=1,
+            thread_name_prefix=f"wire-{name}-handler",
+            initializer=_seed_worker_context,
         )
         self._closed = False
 

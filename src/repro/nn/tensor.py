@@ -23,8 +23,11 @@ Two switches control the engine's speed/accuracy trade-off:
   tape: inside a disabled region no parents or backward closures are
   recorded, so pure-inference code pays only the forward numpy cost;
 * **default dtype** — :func:`set_default_dtype` selects the compute
-  precision (float64 by default; float32 roughly halves memory traffic
-  and is the recommended inference/serving mode).
+  precision (**float32 by default** since PR 9 — it roughly halves
+  memory traffic on every kernel; scope :func:`using_dtype`
+  ``("float64")`` around code that needs full precision, e.g.
+  finite-difference gradient checks and the published protocol
+  reproductions, whose configs pin float64 explicitly).
 
 Both switches are **context-local** (:mod:`contextvars`), not module
 globals: a ``no_grad()`` or ``using_dtype()`` region entered in one
@@ -32,8 +35,8 @@ thread cannot drop another thread's tape or flip its dtype, which is
 what makes the thread-parallel device loops in
 :mod:`repro.distributed.executor` safe.  Threads started outside
 :func:`repro.distributed.executor.parallel_map` begin from the engine
-defaults (grad on, float64); the executor instead captures the caller's
-context at submit time so scoped settings (e.g. a float32 system run)
+defaults (grad on, float32); the executor instead captures the caller's
+context at submit time so scoped settings (e.g. a float64 system run)
 propagate to its workers.
 """
 
@@ -53,8 +56,11 @@ _SUPPORTED_DTYPES = {
 }
 
 #: Engine compute precision for newly created tensors (context-local).
+#: float32 is the import-time default (PR 9): the protocol's published
+#: numbers stay on float64 because ``ACMEConfig.compute_dtype`` pins it
+#: per run, while everything else gets the halved memory traffic.
 _DEFAULT_DTYPE_VAR: contextvars.ContextVar = contextvars.ContextVar(
-    "repro_default_dtype", default=np.float64
+    "repro_default_dtype", default=np.float32
 )
 
 # Tape recording state.  ``_GRAD_ENABLED_VAR`` is toggled by ``no_grad``

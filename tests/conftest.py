@@ -1,7 +1,8 @@
 """Suite-wide fixtures: deterministic engine state and a hang guard.
 
 The autouse engine fixture makes each test start from the same engine
-state (fallback-init stream at seed 0, float64, grad on, cold caches),
+state (fallback-init stream at seed 0, the float32 engine default,
+grad on, cold caches),
 so the suite is order-independent: tests that build unseeded modules
 draw from a freshly reset stream instead of inheriting whatever
 position the previous test left it at.  This is what keeps the suite

@@ -1,0 +1,356 @@
+"""The process executor backend: parity, crash handling, shm hygiene.
+
+``parallel_map(backend="process")`` forks a worker pool and maps
+designated tensors write-through over ``multiprocessing.shared_memory``
+(:mod:`repro.distributed.procpool`).  These tests pin its contract:
+
+* **cross-backend parity** — serial, thread and process fan-outs of the
+  same seeded workload produce bit-identical results, final parameter
+  buffers and grads, under both the float32 engine default and the
+  float64 protocol dtype;
+* **crash containment** — a SIGKILLed worker surfaces as a clean
+  :class:`ExecutorError` (never a hang) and leaves no orphan children;
+* **shared-memory hygiene** — no ``/dev/shm`` segment survives any exit
+  path: success, a task exception, or a worker crash;
+* **the satellite regressions** — ``parallel_starmap`` forwarding
+  ``serial_if_stochastic`` (historically dropped) and the
+  backend-aware ``split_worker_budget``.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.distributed.executor import (
+    ExecutorError,
+    parallel_map,
+    parallel_starmap,
+    resolve_backend,
+    split_worker_budget,
+)
+from repro.distributed.procpool import SharedParamArena, fork_available
+from repro.nn.layers import Dropout, Linear, Sequential
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, get_default_dtype, using_dtype
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="process backend requires the fork start method"
+)
+
+
+def _shm_segments() -> set:
+    """Names of live POSIX shared-memory segments (empty set off-Linux)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_or_child_leaks():
+    """Every test in this file must leave zero segments and children behind."""
+    before = _shm_segments()
+    yield
+    for proc in multiprocessing.active_children():
+        proc.join(timeout=5.0)
+    assert multiprocessing.active_children() == []
+    assert _shm_segments() - before == set()
+
+
+def _make_params(seed: int, shapes=((6, 4), (4,))):
+    rng = np.random.default_rng(seed)
+    return [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+
+
+def _train_task(bundle):
+    """A tape-plus-fused-optimizer step sequence on one item's params.
+
+    Builds a fresh fused Adam inside the task (which rebinds ``p.data``
+    onto its private flat heap buffer — the exact rebind the arena's
+    write-back sweep exists for) and leaves grads populated, so the
+    grad round-trip is exercised too.
+    """
+    params, steps, seed = bundle
+    optimizer = Adam(params, lr=1e-2, fused=True)
+    rng = np.random.default_rng(seed)
+    losses = []
+    for _ in range(steps):
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape).astype(p.data.dtype)
+        optimizer.step()
+        losses.append(float(sum(np.abs(p.data).sum() for p in params)))
+    return np.asarray(losses)
+
+
+def _run_backend(backend, max_workers, dtype, num_items=4, steps=3):
+    with using_dtype(dtype):
+        devices = [_make_params(seed=10 + i) for i in range(num_items)]
+        items = [(params, steps, 100 + i) for i, params in enumerate(devices)]
+        results = parallel_map(
+            _train_task,
+            items,
+            max_workers=max_workers,
+            backend=backend,
+            shared_params=devices if backend == "process" else None,
+        )
+    return results, devices
+
+
+class TestCrossBackendParity:
+    @needs_fork
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_serial_thread_process_bit_identical(self, dtype):
+        serial_results, serial_devices = _run_backend("thread", None, dtype)
+        thread_results, thread_devices = _run_backend("thread", 3, dtype)
+        process_results, process_devices = _run_backend("process", 3, dtype)
+
+        for s, t, p in zip(serial_results, thread_results, process_results):
+            np.testing.assert_array_equal(s, t)
+            np.testing.assert_array_equal(s, p)
+        for s_params, t_params, p_params in zip(
+            serial_devices, thread_devices, process_devices
+        ):
+            for s, t, p in zip(s_params, t_params, p_params):
+                np.testing.assert_array_equal(s.data, t.data)
+                np.testing.assert_array_equal(s.data, p.data)
+                assert s.data.dtype == p.data.dtype == np.dtype(dtype)
+                np.testing.assert_array_equal(s.grad, p.grad)
+
+    @needs_fork
+    def test_results_keep_input_order(self):
+        out = parallel_map(
+            lambda i: i * i, list(range(8)), max_workers=3, backend="process"
+        )
+        assert out == [i * i for i in range(8)]
+
+    @needs_fork
+    def test_workers_inherit_callers_engine_context(self):
+        with using_dtype("float64"):
+            out = parallel_map(
+                lambda _: get_default_dtype(),
+                range(4),
+                max_workers=2,
+                backend="process",
+            )
+        assert out == [np.float64] * 4
+
+    @needs_fork
+    def test_task_exception_reraises_as_itself(self):
+        def boom(i):
+            if i == 2:
+                raise ValueError("task failed in worker")
+            return i
+
+        with pytest.raises(ValueError, match="task failed in worker"):
+            parallel_map(boom, range(4), max_workers=2, backend="process")
+
+    @needs_fork
+    def test_first_exception_by_input_index_wins(self):
+        def boom(i):
+            if i >= 1:
+                raise ValueError(f"boom {i}")
+            return i
+
+        with pytest.raises(ValueError, match="boom 1"):
+            parallel_map(boom, range(4), max_workers=2, backend="process")
+
+    @needs_fork
+    def test_nested_process_request_downgrades_to_threads(self):
+        def outer(i):
+            # Inside a pool worker a nested process request must not
+            # fork again; it silently runs on threads with identical
+            # results.
+            return parallel_map(
+                lambda j: i * 10 + j, range(3), max_workers=2, backend="process"
+            )
+
+        out = parallel_map(outer, range(2), max_workers=2, backend="process")
+        assert out == [[0, 1, 2], [10, 11, 12]]
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            parallel_map(lambda i: i, range(2), max_workers=2, backend="greenlet")
+        with pytest.raises(ValueError):
+            resolve_backend("fibers")
+        assert resolve_backend(None) == "thread"
+
+
+class TestWorkerCrash:
+    @needs_fork
+    def test_sigkilled_worker_raises_executor_error(self):
+        def task(i):
+            if i == 3:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return i
+
+        with pytest.raises(ExecutorError, match="died"):
+            parallel_map(task, range(4), max_workers=2, backend="process")
+
+    @needs_fork
+    def test_crash_with_arena_still_unlinks_segments(self):
+        params = [_make_params(seed=3)]
+
+        def task(item):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        with pytest.raises(ExecutorError):
+            parallel_map(
+                task,
+                [0, 1],
+                max_workers=2,
+                backend="process",
+                shared_params=[params[0], params[0]],
+            )
+        # The autouse fixture asserts no segments/children leaked; the
+        # params must also be heap-backed (demoted) again.
+        for p in params[0]:
+            assert p.data.base is None or isinstance(p.data.base, np.ndarray)
+
+
+class TestSharedParamArena:
+    def test_promote_demote_roundtrip_restores_heap(self):
+        params = _make_params(seed=5)
+        params[0].grad = np.ones_like(params[0].data)
+        params[1].grad = None
+        original = [p.data.copy() for p in params]
+        arena = SharedParamArena([params])
+        # Views are write-through shared memory, values preserved.
+        for p, o in zip(params, original):
+            np.testing.assert_array_equal(p.data, o)
+        arena.demote()
+        for p, o in zip(params, original):
+            np.testing.assert_array_equal(p.data, o)
+        np.testing.assert_array_equal(params[0].grad, np.ones_like(original[0]))
+        assert params[1].grad is None
+
+    def test_demote_is_idempotent(self):
+        params = _make_params(seed=6)
+        arena = SharedParamArena([params])
+        arena.demote()
+        arena.demote()  # second call must be a no-op, not a double-unlink
+
+    def test_writeback_rejects_shape_change(self):
+        params = _make_params(seed=7)
+        arena = SharedParamArena([params])
+        try:
+            params[0].data = np.zeros((2, 2))
+            with pytest.raises(ExecutorError, match="changed shape"):
+                arena.writeback(0)
+        finally:
+            params[0].data = np.zeros((6, 4))
+            arena.demote()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="shared_params"):
+            parallel_map(
+                lambda i: i,
+                range(3),
+                max_workers=2,
+                backend="process",
+                shared_params=[[], []],
+            )
+
+    def test_mixed_dtype_params_share_one_arena(self):
+        with using_dtype("float64"):
+            p64 = _make_params(seed=8, shapes=((3, 3),))
+        with using_dtype("float32"):
+            p32 = _make_params(seed=9, shapes=((4,),))
+        params = p64 + p32
+        arena = SharedParamArena([params])
+        assert params[0].data.dtype == np.float64
+        assert params[1].data.dtype == np.float32
+        arena.demote()
+
+
+class TestStarmapRegression:
+    def test_starmap_forwards_serial_if_stochastic(self):
+        """``parallel_starmap`` historically dropped the stochastic
+        guard: a training-mode dropout module fanned out across threads
+        anyway, drawing from one RNG concurrently.  It must drop to
+        serial exactly like ``parallel_map`` does."""
+        import threading
+
+        model = Sequential(Linear(4, 4), Dropout(0.5))
+        model.train()
+        caller = threading.get_ident()
+        out = parallel_starmap(
+            lambda a, b: threading.get_ident(),
+            [(1, 2), (3, 4), (5, 6)],
+            max_workers=3,
+            serial_if_stochastic=(model,),
+        )
+        assert out == [caller] * 3
+        model.eval()
+
+    def test_starmap_still_parallel_without_guard(self):
+        out = parallel_starmap(
+            lambda a, b: a + b, [(1, 2), (3, 4)], max_workers=2
+        )
+        assert out == [3, 7]
+
+    @needs_fork
+    def test_starmap_process_backend(self):
+        out = parallel_starmap(
+            lambda a, b: a * b, [(2, 3), (4, 5), (6, 7)],
+            max_workers=2, backend="process",
+        )
+        assert out == [6, 20, 42]
+
+
+class TestBackendAwareBudget:
+    def test_serial_outer_thread_inner_passes_through(self):
+        assert split_worker_budget(1, 8, budget=4) == (1, 8)
+        assert split_worker_budget(None, "auto", budget=4) == (1, "auto")
+
+    def test_serial_outer_process_inner_clamped_to_budget(self):
+        # Thread workers past the core count just time-slice; process
+        # workers each cost a core and a fork, so they are clamped even
+        # with no outer fan-out.
+        assert split_worker_budget(1, 8, budget=4, inner_backend="process") == (1, 4)
+        assert split_worker_budget(None, 16, budget=2, inner_backend="process") == (1, 2)
+
+    def test_serial_inner_untouched_for_process(self):
+        assert split_worker_budget(1, None, budget=4, inner_backend="process") == (1, None)
+        assert split_worker_budget(1, 1, budget=4, inner_backend="process") == (1, 1)
+
+    def test_outer_fanout_caps_like_threads(self):
+        assert split_worker_budget(4, 8, budget=8, inner_backend="process") == (4, 2)
+        assert split_worker_budget(4, 8, budget=8, inner_backend="thread") == (4, 2)
+
+    def test_invalid_inner_backend_rejected(self):
+        with pytest.raises(ValueError):
+            split_worker_budget(1, 4, inner_backend="mpi")
+
+
+class TestSystemLevelParity:
+    @needs_fork
+    def test_acme_run_bit_identical_serial_vs_process(self):
+        """A tiny end-to-end ACME run with ``backend="process"`` must
+        reproduce the serial accuracies and traffic ledger exactly."""
+        from repro.distributed import ACMEConfig, ACMESystem
+
+        def run(backend, workers):
+            config = ACMEConfig(
+                num_clusters=1,
+                devices_per_cluster=2,
+                num_classes=4,
+                samples_per_class=8,
+                parallel_devices=workers,
+                backend=backend,
+                seed=0,
+            )
+            system = ACMESystem(config)
+            result = system.run()
+            system.dispose()
+            return result
+
+        serial = run("thread", 1)
+        process = run("process", 2)
+        assert process.mean_accuracy == serial.mean_accuracy
+        assert process.traffic.total_megabytes() == serial.traffic.total_megabytes()
+        for s, p in zip(serial.clusters, process.clusters):
+            assert p.device_accuracies == s.device_accuracies
+            assert (p.width, p.depth) == (s.width, s.depth)

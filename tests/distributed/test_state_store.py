@@ -32,7 +32,7 @@ from repro.models.blocks import BlockSpec, HeaderSpec
 from repro.models.header_dag import DAGHeader
 from repro.nn.optim import Adam
 from repro.nn.serialization import state_from_bytes, state_to_bytes
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, using_dtype
 
 
 def _distribution_payload(seed: int = 0) -> dict:
@@ -197,6 +197,16 @@ class TestSnapshotRoundTrip:
 
 
 class TestAdamStateCapsule:
+    @pytest.fixture(autouse=True)
+    def _float64_engine(self):
+        # The fixtures feed float64 numpy draws straight into Tensor
+        # data and grads; under the float32 engine default the data
+        # would downcast while the raw ``p.grad`` assignment stayed
+        # float64, and the mixed-precision steps would diverge between
+        # the fused and reference paths.
+        with using_dtype("float64"):
+            yield
+
     def _train(self, params, optimizer, grads):
         for step_grads in grads:
             for p, g in zip(params, step_grads):

@@ -4,7 +4,11 @@ Seeding discipline: the engine keeps a small amount of process-wide
 state (the per-thread fallback-init streams of ``repro.nn.init``, the
 im2col index cache, the similarity projection cache) plus context-local
 grad/dtype switches.  :func:`reset_engine_state` restores all of it to
-the import-time defaults; ``tests/conftest.py`` applies it around every
+the import-time defaults — including the **float32** default dtype the
+engine ships with since PR 9; float64-sensitive tests opt back in with
+``using_dtype("float64")`` (the gradient-check helpers below do so
+internally, since finite differences at ``eps=1e-6`` are meaningless in
+single precision).  ``tests/conftest.py`` applies the reset around every
 test so the suite passes under any test ordering — including
 ``pytest-randomly``-style shuffling (``-p no:randomly`` is never
 required for correctness) — even though unseeded modules now draw from
@@ -17,7 +21,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, using_dtype
 
 
 def fresh_rng(seed: int = 0) -> np.random.Generator:
@@ -32,7 +36,7 @@ def reset_engine_state() -> None:
     from repro.nn.tensor import _set_fast_pow, _set_grad_override
 
     nn.set_seed(0)
-    nn.set_default_dtype("float64")
+    nn.set_default_dtype("float32")
     nn.set_grad_enabled(True)
     _set_grad_override(None)
     _set_fast_pow(True)
@@ -69,20 +73,24 @@ def check_gradient(
 ) -> None:
     """Compare autograd gradients against finite differences.
 
-    ``build`` maps an input tensor to a scalar loss tensor.
+    ``build`` maps an input tensor to a scalar loss tensor.  Runs
+    under ``using_dtype("float64")`` regardless of the ambient engine
+    default: central differences at ``eps=1e-6`` vanish into float32
+    rounding error.
     """
     x = np.asarray(x, dtype=np.float64)
 
-    tensor = Tensor(x.copy(), requires_grad=True)
-    loss = build(tensor)
-    assert loss.size == 1, "check_gradient requires a scalar loss"
-    loss.backward()
-    analytic = tensor.grad
+    with using_dtype("float64"):
+        tensor = Tensor(x.copy(), requires_grad=True)
+        loss = build(tensor)
+        assert loss.size == 1, "check_gradient requires a scalar loss"
+        loss.backward()
+        analytic = tensor.grad
 
-    def eval_loss(arr: np.ndarray) -> float:
-        return float(build(Tensor(arr.copy())).data)
+        def eval_loss(arr: np.ndarray) -> float:
+            return float(build(Tensor(arr.copy())).data)
 
-    numeric = numerical_gradient(eval_loss, x)
+        numeric = numerical_gradient(eval_loss, x)
     np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
 
 
@@ -93,7 +101,14 @@ def parameter_gradient_check(
 
     ``forward`` recomputes the scalar loss from scratch (capturing the
     module by closure); each parameter in ``params`` is perturbed in place.
+    Float64-scoped like :func:`check_gradient`; the module itself must
+    already hold float64 parameters (build it under the same scope).
     """
+    with using_dtype("float64"):
+        _parameter_gradient_check(module, forward, params, atol, rtol)
+
+
+def _parameter_gradient_check(module, forward, params, atol, rtol) -> None:
     loss = forward()
     module.zero_grad()
     loss.backward()

@@ -11,7 +11,7 @@ from repro.nn.conv import (
     MaxPool2d,
     im2col,
 )
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, using_dtype
 from tests.helpers import check_gradient
 
 RNG = np.random.default_rng(5)
@@ -29,9 +29,12 @@ class TestConv2d:
         assert out.shape == (1, 4, 5, 5)
 
     def test_matches_naive_convolution(self):
-        conv = Conv2d(2, 3, kernel_size=2, stride=1, padding=0, bias=True, rng=RNG)
-        x = RNG.normal(size=(1, 2, 4, 4))
-        out = conv(Tensor(x)).data
+        # atol=1e-10 against an independent-order reference needs the
+        # full float64 pipeline, not the float32 engine default.
+        with using_dtype("float64"):
+            conv = Conv2d(2, 3, kernel_size=2, stride=1, padding=0, bias=True, rng=RNG)
+            x = RNG.normal(size=(1, 2, 4, 4))
+            out = conv(Tensor(x)).data
 
         w, b = conv.weight.data, conv.bias.data
         expected = np.zeros((1, 3, 3, 3))
@@ -60,9 +63,10 @@ class TestConv2d:
             conv(Tensor(np.ones((1, 1, 3, 3))))
 
     def test_1x1_conv_is_channel_mix(self):
-        conv = Conv2d(4, 2, kernel_size=1, bias=False, rng=RNG)
-        x = RNG.normal(size=(1, 4, 3, 3))
-        out = conv(Tensor(x)).data
+        with using_dtype("float64"):
+            conv = Conv2d(4, 2, kernel_size=1, bias=False, rng=RNG)
+            x = RNG.normal(size=(1, 4, 3, 3))
+            out = conv(Tensor(x)).data
         w = conv.weight.data.reshape(2, 4)
         expected = np.einsum("oc,nchw->nohw", w, x)
         np.testing.assert_allclose(out, expected, atol=1e-10)

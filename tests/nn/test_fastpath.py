@@ -92,8 +92,11 @@ class TestGradMode:
 
 
 class TestDefaultDtype:
-    def test_default_is_float64(self):
-        assert get_default_dtype() is np.float64
+    def test_default_is_float32(self):
+        # The engine default flipped to float32 in PR 9; published
+        # protocol numbers opt back into float64 via
+        # ``ACMEConfig.compute_dtype`` (see PERFORMANCE.md).
+        assert get_default_dtype() is np.float32
 
     def test_set_and_get(self):
         set_default_dtype("float32")
@@ -107,9 +110,9 @@ class TestDefaultDtype:
             set_default_dtype(np.float16)
 
     def test_using_dtype_scopes(self):
-        with using_dtype("float32"):
-            assert get_default_dtype() is np.float32
-        assert get_default_dtype() is np.float64
+        with using_dtype("float64"):
+            assert get_default_dtype() is np.float64
+        assert get_default_dtype() is np.float32
 
     def test_float64_input_downcast_under_float32(self):
         set_default_dtype("float32")
@@ -215,25 +218,32 @@ class TestIm2colCache:
 
 
 class TestInferenceKernels:
-    """The tape-free conv/pool kernels must match the taped forwards."""
+    """The tape-free conv/pool kernels must match the taped forwards.
+
+    The 1e-12 parity tolerances are float64 statements (the fast and
+    taped kernels reduce in different orders), so the parity cases pin
+    the pre-flip dtype explicitly.
+    """
 
     @pytest.mark.parametrize("kernel,stride,padding", [(3, 1, 1), (1, 1, 0), (3, 2, 1), (2, 2, 0)])
     def test_conv_inference_matches_taped(self, kernel, stride, padding):
-        x = Tensor(RNG.normal(size=(3, 4, 9, 9)))
-        conv = Conv2d(4, 6, kernel, stride=stride, padding=padding, rng=np.random.default_rng(0))
-        taped = conv(x).data
-        with no_grad():
-            fast = conv(x).data
+        with using_dtype("float64"):
+            x = Tensor(RNG.normal(size=(3, 4, 9, 9)))
+            conv = Conv2d(4, 6, kernel, stride=stride, padding=padding, rng=np.random.default_rng(0))
+            taped = conv(x).data
+            with no_grad():
+                fast = conv(x).data
         np.testing.assert_allclose(taped, fast, atol=1e-12)
 
     @pytest.mark.parametrize("pool_cls", [MaxPool2d, AvgPool2d])
     @pytest.mark.parametrize("kernel,stride,padding", [(2, None, 0), (3, 1, 1), (3, 2, 1)])
     def test_pool_inference_matches_taped(self, pool_cls, kernel, stride, padding):
-        x = Tensor(RNG.normal(size=(2, 3, 8, 8)))
-        pool = pool_cls(kernel, stride=stride, padding=padding)
-        taped = pool(x).data
-        with no_grad():
-            fast = pool(x).data
+        with using_dtype("float64"):
+            x = Tensor(RNG.normal(size=(2, 3, 8, 8)))
+            pool = pool_cls(kernel, stride=stride, padding=padding)
+            taped = pool(x).data
+            with no_grad():
+                fast = pool(x).data
         np.testing.assert_allclose(taped, fast, atol=1e-12)
 
     def test_conv_kernel_too_large_raises_in_no_grad(self):

@@ -6,10 +6,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, using_dtype
 from tests.helpers import check_gradient
 
 RNG = np.random.default_rng(7)
+
+
+@pytest.fixture(autouse=True)
+def _float64_engine():
+    # The tolerance contracts here (1e-10 .. 1e-12) are statements
+    # about the float64 kernels; run the file under the pre-flip dtype.
+    with using_dtype("float64"):
+        yield
 
 
 class TestSoftmax:

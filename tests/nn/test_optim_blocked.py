@@ -1,0 +1,103 @@
+"""Cache-blocked fused optimizer sweeps: parity and the block-size hook.
+
+PR 9 chunks the fused Adam/SGD/fleet flat-buffer update passes at
+``repro.nn.optim._FUSED_BLOCK_ELEMS`` elements so one block of all the
+step's arrays stays cache-resident across the ~14 ufunc passes.  Every
+pass is elementwise, so blocking is a pure cache-behavior knob: these
+tests pin that a blocked sweep is **bit-for-bit** identical to the
+unblocked one at any block size, under both engine dtypes, and that the
+``set_fused_block_elems`` hook restores cleanly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    _block_slices,
+    set_fused_block_elems,
+    clip_grad_norm,
+)
+from repro.nn.tensor import Tensor, using_dtype
+
+
+@pytest.fixture
+def restore_block_size():
+    previous = set_fused_block_elems(0)
+    set_fused_block_elems(previous)
+    yield
+    set_fused_block_elems(previous)
+
+
+def _run_steps(opt_cls, kwargs, dtype, block_elems, steps=5):
+    """Fused training trajectory at a given block size; returns final data."""
+    previous = set_fused_block_elems(block_elems)
+    try:
+        with using_dtype(dtype):
+            rng = np.random.default_rng(17)
+            # Two large flats (several blocks at size 1000) + odd sizes
+            # that leave a ragged tail block + small unblocked tensors.
+            shapes = [(5000,), (3001,), (64, 33), (7,)]
+            params = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+            optimizer = opt_cls(params, fused=True, **kwargs)
+            grad_rng = np.random.default_rng(23)
+            for _ in range(steps):
+                for p in params:
+                    p.grad = grad_rng.normal(size=p.data.shape).astype(p.data.dtype)
+                clip_grad_norm(params, 5.0, fused=True)
+                optimizer.step()
+            return [p.data.copy() for p in params]
+    finally:
+        set_fused_block_elems(previous)
+
+
+class TestBlockedParity:
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    @pytest.mark.parametrize(
+        "opt_cls, kwargs",
+        [
+            (Adam, dict(lr=1e-2)),
+            (Adam, dict(lr=3e-3, weight_decay=0.1)),
+            (SGD, dict(lr=1e-2, momentum=0.9)),
+            (SGD, dict(lr=1e-2, momentum=0.9, weight_decay=0.05)),
+        ],
+    )
+    def test_bit_for_bit_vs_unblocked(self, opt_cls, kwargs, dtype, restore_block_size):
+        unblocked = _run_steps(opt_cls, kwargs, dtype, block_elems=0)
+        for block in (512, 1000, 4096):
+            blocked = _run_steps(opt_cls, kwargs, dtype, block_elems=block)
+            for a, b in zip(unblocked, blocked):
+                np.testing.assert_array_equal(a, b)
+
+    def test_block_smaller_than_every_tensor(self, restore_block_size):
+        # Degenerate block size: every 1-D flat splits into many tiny
+        # chunks; results must still be identical.
+        unblocked = _run_steps(Adam, dict(lr=1e-2), "float64", block_elems=0, steps=2)
+        blocked = _run_steps(Adam, dict(lr=1e-2), "float64", block_elems=3, steps=2)
+        for a, b in zip(unblocked, blocked):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestBlockSlices:
+    def test_disabled_yields_identity(self, restore_block_size):
+        set_fused_block_elems(0)
+        assert list(_block_slices(10**6)) == [slice(None)]
+
+    def test_small_buffer_yields_identity(self, restore_block_size):
+        set_fused_block_elems(100)
+        assert list(_block_slices(100)) == [slice(None)]
+        assert list(_block_slices(7)) == [slice(None)]
+
+    def test_chunks_cover_exactly_once(self, restore_block_size):
+        set_fused_block_elems(100)
+        slices = list(_block_slices(250))
+        assert slices == [slice(0, 100), slice(100, 200), slice(200, 250)]
+        marks = np.zeros(250, dtype=int)
+        for sl in slices:
+            marks[sl] += 1
+        assert (marks == 1).all()
+
+    def test_hook_returns_previous_value(self):
+        first = set_fused_block_elems(123)
+        assert set_fused_block_elems(first) == 123

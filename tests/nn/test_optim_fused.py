@@ -15,7 +15,17 @@ import numpy as np
 import pytest
 
 from repro.nn.optim import SGD, Adam, clip_grad_norm
-from repro.nn.tensor import Tensor, _set_inplace_accumulation
+from repro.nn.tensor import Tensor, _set_inplace_accumulation, using_dtype
+
+
+@pytest.fixture(autouse=True)
+def _float64_engine():
+    # These are float64 bit-for-bit contracts: the fixtures hand raw
+    # float64 numpy draws to Tensor data and ``p.grad``, which under the
+    # float32 engine default would mix precisions between the fused and
+    # reference paths.
+    with using_dtype("float64"):
+        yield
 
 
 def _make_params(rng, shapes):

@@ -15,7 +15,7 @@ from repro.nn import (
     state_dict_nbytes,
 )
 from repro.nn.serialization import compressed_nbytes
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, using_dtype
 
 
 class TestSaveLoad:
@@ -79,8 +79,11 @@ class TestSaveLoad:
 
 class TestByteAccounting:
     def test_state_dict_nbytes(self):
-        layer = Linear(10, 10)  # 100 weights + 10 biases, float64
-        assert state_dict_nbytes(layer.state_dict()) == 110 * 8
+        layer = Linear(10, 10)  # 100 weights + 10 biases
+        itemsize = layer.weight.data.dtype.itemsize  # 4 under the float32 default
+        assert state_dict_nbytes(layer.state_dict()) == 110 * itemsize
+        with using_dtype("float64"):
+            assert state_dict_nbytes(Linear(10, 10).state_dict()) == 110 * 8
 
     def test_module_nbytes_matches_state_dict(self):
         mlp = MLP(8, 16, 4)

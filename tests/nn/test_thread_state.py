@@ -104,7 +104,7 @@ class TestDtypeIsolation:
         observed = {}
 
         def thread_a():
-            with using_dtype("float32"):
+            with using_dtype("float64"):
                 a_inside.set()
                 assert b_checked.wait(timeout=10)
                 observed["a_dtype"] = Tensor([1.0]).dtype
@@ -119,8 +119,8 @@ class TestDtypeIsolation:
             t.start()
         for t in threads:
             t.join(timeout=20)
-        assert observed["a_dtype"] == np.float32
-        assert observed["b_dtype"] == np.float64
+        assert observed["a_dtype"] == np.float64
+        assert observed["b_dtype"] == np.float32
 
     def test_new_threads_start_from_engine_defaults(self):
         observed = {}
@@ -129,21 +129,21 @@ class TestDtypeIsolation:
             observed["grad"] = is_grad_enabled()
             observed["dtype"] = get_default_dtype()
 
-        with no_grad(), using_dtype("float32"):
+        with no_grad(), using_dtype("float64"):
             t = threading.Thread(target=worker)
             t.start()
             t.join(timeout=10)
         assert observed["grad"] is True
-        assert observed["dtype"] is np.float64
+        assert observed["dtype"] is np.float32
 
     def test_nested_scopes_restore_in_one_thread(self):
-        assert get_default_dtype() is np.float64
-        with using_dtype("float32"):
-            assert get_default_dtype() is np.float32
-            with using_dtype("float64"):
-                assert get_default_dtype() is np.float64
-            assert get_default_dtype() is np.float32
-        assert get_default_dtype() is np.float64
+        assert get_default_dtype() is np.float32
+        with using_dtype("float64"):
+            assert get_default_dtype() is np.float64
+            with using_dtype("float32"):
+                assert get_default_dtype() is np.float32
+            assert get_default_dtype() is np.float64
+        assert get_default_dtype() is np.float32
 
 
 class TestExecutor:
@@ -159,16 +159,16 @@ class TestExecutor:
             assert out == [caller, caller]
 
     def test_workers_inherit_callers_engine_context(self):
-        with no_grad(), using_dtype("float32"):
+        with no_grad(), using_dtype("float64"):
             out = parallel_map(
                 lambda _: (is_grad_enabled(), get_default_dtype()),
                 range(4),
                 max_workers=4,
             )
-        assert out == [(False, np.float32)] * 4
+        assert out == [(False, np.float64)] * 4
         # ... and the workers' context copies never leak back out.
         assert is_grad_enabled() is True
-        assert get_default_dtype() is np.float64
+        assert get_default_dtype() is np.float32
 
     def test_worker_state_mutations_do_not_cross_tasks(self):
         """A task that flips grad mode must not poison later tasks."""
