@@ -1,0 +1,633 @@
+"""reprolint rule catalogue: the engine's invariants as AST checks.
+
+Three rule families guard the three contracts nine PRs of this engine
+rest on (see ``ANALYSIS.md`` for the prose catalogue):
+
+* **DET** — bit-for-bit replay: no process-global RNG, no fixed literal
+  seeds outside the annotated allowlist, no wall-clock or stdlib
+  ``random`` in protocol paths (``repro/distributed``, ``repro/core``),
+  no iteration over hash-salted sets feeding message/ledger
+  construction.
+* **CONC** — thread/process parity: module-level mutables must be
+  ``ContextVar``, a registered lock, ``Final``, or carry a ``guarded``
+  suppression naming their lock; module-level ``threading.Lock()`` must
+  go through :func:`repro.analysis.registry.register_lock` so fork
+  re-init and lockwatch see it.
+* **ALLOC** — the fused hot paths stay allocation-free: inside a
+  function marked ``@hotpath`` (or named ``*fused*``) a bare
+  binary-operator assignment is a per-step temporary.
+
+Plus **EXC001**: ``except Exception`` hides protocol errors; narrow it
+or annotate the boundary.
+
+Every rule carries its own ``must_flag``/``must_pass`` fixture snippet;
+``lint --self-test`` and ``tests/analysis`` replay them, so a rule that
+silently stops firing fails CI loudly.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Final, Iterator, List, Optional, Tuple
+
+__all__ = ["Finding", "FileContext", "Rule", "RULES", "rule_tokens"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: where, which rule, what, and how to fix it."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    fixit: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.fixit:
+            text += f"\n    fix: {self.fixit}"
+        return text
+
+
+class FileContext:
+    """One file under lint: source, AST, and its place in the tree."""
+
+    def __init__(self, path: str, rel: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        #: Tree-relative posix path, e.g. ``repro/distributed/edge.py``.
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+
+    @property
+    def protocol_path(self) -> bool:
+        """Whether this file is on a replay-deterministic protocol path."""
+        return self.rel.startswith(("repro/distributed/", "repro/core/"))
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _tail(dotted: Optional[str]) -> str:
+    return dotted.rsplit(".", 1)[-1] if dotted else ""
+
+
+def _is_pure_literal(node: ast.AST) -> bool:
+    """A constant expression: literal, or tuple/list of literals."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_pure_literal(node.operand)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(_is_pure_literal(elt) for elt in node.elts)
+    return False
+
+
+class Rule:
+    """Base rule: subclasses set the class attributes and ``check``."""
+
+    id: str = ""
+    token: str = ""
+    summary: str = ""
+    must_flag: str = ""
+    must_pass: str = ""
+    #: Virtual tree location the fixture snippets lint under (protocol
+    #: path by default so path-scoped rules exercise).
+    snippet_rel: str = "repro/distributed/_snippet.py"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, message: str, fixit: str = "") -> Finding:
+        return Finding(path=ctx.path, line=line, rule=self.id, message=message, fixit=fixit)
+
+
+# ---------------------------------------------------------------------------
+# DET: determinism / replay rules
+# ---------------------------------------------------------------------------
+_NP_RANDOM_OK: Final = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+class GlobalRandomRule(Rule):
+    id = "DET001"
+    token = "global-rng"
+    summary = (
+        "no np.random module-level calls — the process-global RNG is invisible "
+        "to seeded replay and shared across threads"
+    )
+    must_flag = (
+        "import numpy as np\n"
+        "\n"
+        "def jitter(x):\n"
+        "    np.random.seed(7)\n"
+        "    return x + np.random.rand(3)\n"
+    )
+    must_pass = (
+        "import numpy as np\n"
+        "\n"
+        "def jitter(x, seed):\n"
+        "    rng = np.random.default_rng(seed)\n"
+        "    return x + rng.random(3)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            if dotted.startswith(("np.random.", "numpy.random.")):
+                tail = _tail(dotted)
+                if tail not in _NP_RANDOM_OK:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"`{dotted}()` draws from the process-global numpy RNG: "
+                        "invisible to seeded replay and racy across threads",
+                        "draw from an explicit np.random.Generator threaded from "
+                        "the caller (rng = np.random.default_rng(seed); rng."
+                        f"{tail}(...))",
+                    )
+
+
+class FixedRngRule(Rule):
+    id = "DET002"
+    token = "fixed-rng"
+    summary = (
+        "no default_rng(<literal>) outside the annotated allowlist — a fixed "
+        "seed silently pins a stream that campaigns cannot vary"
+    )
+    must_flag = (
+        "import numpy as np\n"
+        "\n"
+        "def loader_rng():\n"
+        "    return np.random.default_rng(0)\n"
+    )
+    must_pass = (
+        "import numpy as np\n"
+        "\n"
+        "def loader_rng(config):\n"
+        "    seeded = np.random.default_rng(config.seed)\n"
+        "    # Deliberate fixed stream, machine-checked annotation:\n"
+        "    pinned = np.random.default_rng(0)  # reprolint: fixed-rng -- eval order is part of the Table-I contract\n"
+        "    return seeded, pinned\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if _tail(dotted) != "default_rng":
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            if not args:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "`default_rng()` without a seed draws OS entropy — the run "
+                    "cannot replay",
+                    "thread a seed from config (default_rng(config.seed))",
+                )
+            elif all(_is_pure_literal(a) for a in args):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "`default_rng(<literal>)` pins a fixed stream the campaign "
+                    "seed cannot vary",
+                    "thread the seed from config, or — if the fixed stream is "
+                    "the contract — annotate the line with "
+                    "`# reprolint: fixed-rng -- <why>`",
+                )
+
+
+_WALLCLOCK_CALLS: Final = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "DET003"
+    token = "wallclock"
+    summary = (
+        "no wall-clock reads or stdlib random in protocol paths "
+        "(repro/distributed, repro/core) — replay must not see ambient state"
+    )
+    must_flag = (
+        "import time\n"
+        "\n"
+        "def stamp(msg):\n"
+        "    msg.sent_at = time.time()\n"
+        "    return msg\n"
+    )
+    must_pass = (
+        "import time\n"
+        "\n"
+        "def wait(deadline):\n"
+        "    start = time.monotonic()\n"
+        "    time.sleep(0.01)\n"
+        "    return time.perf_counter() - start\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.protocol_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    "stdlib `random` in a protocol path shares one unseeded "
+                    "global stream",
+                    "use an np.random.Generator threaded from config",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if not dotted:
+                    continue
+                if dotted in _WALLCLOCK_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"`{dotted}()` reads the wall clock in a protocol path — "
+                        "two replays of one seed will see different values",
+                        "use time.monotonic()/perf_counter() for intervals; "
+                        "protocol-visible values must derive from the seed",
+                    )
+                elif dotted.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        f"`{dotted}()` uses the stdlib global RNG in a protocol "
+                        "path",
+                        "use an np.random.Generator threaded from config",
+                    )
+
+
+class SetOrderRule(Rule):
+    id = "DET004"
+    token = "set-order"
+    summary = (
+        "no iteration over sets in protocol paths — set order is hash-salted "
+        "per process; messages/ledgers built from it cannot replay"
+    )
+    must_flag = (
+        "def poll(devices, send):\n"
+        "    for device in set(devices):\n"
+        "        send(device)\n"
+    )
+    must_pass = (
+        "def poll(devices, send):\n"
+        "    for device in sorted(set(devices)):\n"
+        "        send(device)\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.protocol_path:
+            return
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._unordered(it):
+                    yield self.finding(
+                        ctx,
+                        it.lineno,
+                        "iterating a set: order is hash-salted per process, so "
+                        "anything sequenced from it (messages, ledger rows, "
+                        "aggregation order) cannot replay bit-for-bit",
+                        "wrap in sorted(...) with a total key before iterating",
+                    )
+
+    @staticmethod
+    def _unordered(expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            dotted = _dotted(expr.func)
+            if dotted in {"set", "frozenset"}:
+                return True
+            if (
+                dotted in {"list", "tuple", "enumerate", "iter", "reversed"}
+                and expr.args
+                and SetOrderRule._unordered(expr.args[0])
+            ):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# CONC: concurrency / fork-safety rules
+# ---------------------------------------------------------------------------
+_MUTABLE_CTORS: Final = frozenset(
+    {
+        "dict",
+        "list",
+        "set",
+        "bytearray",
+        "OrderedDict",
+        "defaultdict",
+        "deque",
+        "Counter",
+        "ChainMap",
+        "WeakSet",
+        "WeakKeyDictionary",
+        "WeakValueDictionary",
+        "count",
+        "cycle",
+        "Queue",
+        "LifoQueue",
+        "PriorityQueue",
+        "SimpleQueue",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    }
+)
+_EXEMPT_CTORS: Final = frozenset({"ContextVar", "local", "register_lock"})
+_LOCK_CTORS: Final = frozenset({"Lock", "RLock"})
+
+
+def _is_final_annotation(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return _tail(_dotted(annotation)) == "Final"
+
+
+def _module_assignments(tree: ast.Module) -> Iterator[Tuple[str, ast.AST, Optional[ast.AST], int]]:
+    """(name, value, annotation, line) for module-scope assignments."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id, stmt.value, None, stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                yield stmt.target.id, stmt.value, stmt.annotation, stmt.lineno
+
+
+class ModuleMutableRule(Rule):
+    id = "CONC001"
+    token = "guarded"
+    summary = (
+        "module-level mutables must be ContextVar, a registered lock, Final, "
+        "or carry a `guarded` suppression naming the lock that protects them"
+    )
+    must_flag = "_CACHE = {}\n\n\ndef lookup(key):\n    return _CACHE.get(key)\n"
+    must_pass = (
+        "import threading\n"
+        "from contextvars import ContextVar\n"
+        "from typing import Dict, Final\n"
+        "\n"
+        "_FROZEN: Final[Dict[str, int]] = {}\n"
+        "_AMBIENT: ContextVar = ContextVar('ambient', default=None)\n"
+        "_PER_THREAD = threading.local()\n"
+        "# reprolint: guarded -- insertions serialized by the registry lock\n"
+        "_TRACKED = {}\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for name, value, annotation, line in _module_assignments(ctx.tree):
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if _is_final_annotation(annotation):
+                continue
+            tail = ""
+            if isinstance(value, ast.Call):
+                tail = _tail(_dotted(value.func))
+                if tail in _EXEMPT_CTORS or tail in _LOCK_CTORS:
+                    continue
+            mutable = isinstance(
+                value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)
+            ) or (isinstance(value, ast.Call) and tail in _MUTABLE_CTORS)
+            if mutable:
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"module-level mutable `{name}` is shared across every "
+                    "thread and inherited by forked workers with no declared "
+                    "protection",
+                    "make it a ContextVar, create locks via register_lock, "
+                    "annotate Final (never rebound, guarded elsewhere), or "
+                    "suppress with `# reprolint: guarded -- <which lock "
+                    "serializes access>`",
+                )
+
+
+class UnregisteredLockRule(Rule):
+    id = "CONC002"
+    token = "unregistered-lock"
+    summary = (
+        "module-level threading.Lock/RLock must be created via "
+        "repro.analysis.registry.register_lock so fork re-init and lockwatch "
+        "cover it"
+    )
+    must_flag = (
+        "import threading\n"
+        "\n"
+        "_CACHE_LOCK = threading.Lock()\n"
+    )
+    must_pass = (
+        "from repro.analysis.registry import register_lock\n"
+        "\n"
+        "_CACHE_LOCK = register_lock('snippet.cache', module=__name__, attr='_CACHE_LOCK')\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for name, value, _annotation, line in _module_assignments(ctx.tree):
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = _dotted(value.func)
+            if _tail(dotted) in _LOCK_CTORS and (
+                dotted in _LOCK_CTORS or dotted.startswith("threading.")
+            ):
+                yield self.finding(
+                    ctx,
+                    line,
+                    f"module-level lock `{name}` bypasses the lock registry: "
+                    "a thread holding it at fork time deadlocks every pool "
+                    "worker, and lockwatch cannot see it",
+                    f'create it via `{name} = register_lock("<name>", '
+                    f'module=__name__, attr="{name}")` '
+                    "(from repro.analysis.registry)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# ALLOC: fused hot paths stay allocation-free
+# ---------------------------------------------------------------------------
+_FUSED_NAME: Final = re.compile(r"(^|_)fused(_|$)")
+
+
+class HotPathAllocRule(Rule):
+    id = "ALLOC001"
+    token = "alloc-ok"
+    summary = (
+        "functions marked @hotpath (or named *fused*) must use out=/in-place "
+        "ufunc forms — a bare binary-op assignment allocates a temporary per "
+        "step"
+    )
+    must_flag = (
+        "from repro.analysis.registry import hotpath\n"
+        "\n"
+        "@hotpath\n"
+        "def fused_axpy(data, grad, lr, scratch):\n"
+        "    scaled = grad * lr\n"
+        "    data -= scaled\n"
+    )
+    must_pass = (
+        "import numpy as np\n"
+        "from repro.analysis.registry import hotpath\n"
+        "\n"
+        "@hotpath\n"
+        "def fused_axpy(data, grad, lr, scratch):\n"
+        "    np.multiply(grad, lr, out=scratch)\n"
+        "    data -= scratch\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._designated(node):
+                continue
+            for stmt in ast.walk(node):
+                value: Optional[ast.AST] = None
+                if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.Return, ast.Expr)):
+                    value = stmt.value
+                if value is not None and isinstance(value, ast.BinOp):
+                    yield self.finding(
+                        ctx,
+                        value.lineno,
+                        f"bare binary op in fused hot path `{node.name}` "
+                        "materializes a fresh temporary every step",
+                        "use the out= ufunc form (np.multiply(a, b, out=buf)) "
+                        "or an augmented in-place update (buf += g); scalar "
+                        "setup math can move out of the hot path or carry "
+                        "`# reprolint: alloc-ok -- <why>`",
+                    )
+
+    @staticmethod
+    def _designated(node) -> bool:
+        if _FUSED_NAME.search(node.name):
+            return True
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if _tail(_dotted(target)) == "hotpath":
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# EXC: exception hygiene
+# ---------------------------------------------------------------------------
+class BroadExceptRule(Rule):
+    id = "EXC001"
+    token = "broad-except"
+    summary = (
+        "`except Exception` hides protocol and programming errors; catch "
+        "concrete types, or annotate genuine boundaries"
+    )
+    must_flag = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    must_pass = (
+        "def load(path):\n"
+        "    try:\n"
+        "        return open(path).read()\n"
+        "    except (OSError, UnicodeDecodeError):\n"
+        "        return None\n"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None
+            for expr in self._handler_types(node.type):
+                if _tail(_dotted(expr)) in {"Exception", "BaseException"}:
+                    broad = True
+            if broad:
+                caught = "bare except" if node.type is None else "broad except"
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{caught} swallows unrelated failures (protocol bugs, "
+                    "KeyErrors, typos) along with the one it meant to handle",
+                    "catch the concrete exception types this block can recover "
+                    "from; a genuine boundary (worker reaping, codec fallback, "
+                    "RPC surface) keeps the broad catch with "
+                    "`# reprolint: broad-except -- <why>`",
+                )
+
+    @staticmethod
+    def _handler_types(type_node: Optional[ast.AST]) -> Iterator[ast.AST]:
+        if type_node is None:
+            return
+        if isinstance(type_node, ast.Tuple):
+            yield from type_node.elts
+        else:
+            yield type_node
+
+
+RULES: Final[Tuple[Rule, ...]] = (
+    GlobalRandomRule(),
+    FixedRngRule(),
+    WallClockRule(),
+    SetOrderRule(),
+    ModuleMutableRule(),
+    UnregisteredLockRule(),
+    HotPathAllocRule(),
+    BroadExceptRule(),
+)
+
+
+def rule_tokens() -> frozenset:
+    """Every valid suppression token."""
+    return frozenset(rule.token for rule in RULES)

@@ -1,0 +1,100 @@
+"""Per-line suppression comments for reprolint.
+
+Syntax (one comment, one or more rule tokens, a mandatory one-line
+justification after ``--``)::
+
+    risky_line()  # reprolint: <token>[, <token>...] -- <why this is correct>
+
+A trailing comment suppresses findings on its own line; a comment that
+stands alone on its line suppresses findings on the **next code line**
+— intervening blank lines and plain continuation comments are skipped,
+so the suppression may open a multi-line comment block whose remaining
+lines elaborate on the justification.  Tokens name rules by
+their suppression token (e.g. ``fixed-rng`` for DET002, ``broad-except``
+for EXC001 — catalogue in ``ANALYSIS.md``).
+
+Suppressions are themselves linted: a missing justification is SUP001,
+an unknown token is SUP002, and a suppression that matches no finding
+on its line is SUP003 — so every suppression in the tree is both
+justified and load-bearing, and deleting the finding it covers without
+deleting the comment fails the lint.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_PATTERN = re.compile(r"#\s*reprolint:\s*(?P<body>.*)$")
+_TOKEN_SPLIT = re.compile(r"[,\s]+")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint:`` comment."""
+
+    #: Line the suppression applies to (the comment's own line for a
+    #: trailing comment, the next line for a standalone comment line).
+    line: int
+    #: Physical line of the comment itself (where SUP findings anchor).
+    comment_line: int
+    tokens: Tuple[str, ...]
+    justification: str
+    #: Rule tokens that actually absorbed a finding (driver bookkeeping).
+    used_tokens: Set[str] = field(default_factory=set)
+
+    @property
+    def used(self) -> bool:
+        return bool(self.used_tokens)
+
+
+def scan_suppressions(source: str) -> List[Suppression]:
+    """Extract every reprolint suppression comment from *source*.
+
+    Comments are found with :mod:`tokenize`, so ``# reprolint:`` text
+    inside string literals (docstrings, rule fixtures) is never
+    misread as a suppression.  Returns an empty list for source that
+    does not tokenize — the lint driver reports the parse error
+    separately.
+    """
+    out: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        head, sep, justification = body.partition("--")
+        names = tuple(t for t in _TOKEN_SPLIT.split(head.strip()) if t)
+        comment_line = tok.start[0]
+        standalone = tok.line.strip().startswith("#")
+        target = comment_line
+        if standalone:
+            # Bind to the next code line, stepping over the rest of the
+            # comment block and any blank lines.
+            target = comment_line + 1
+            while target <= len(lines):
+                stripped = lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+        out.append(
+            Suppression(
+                line=target,
+                comment_line=comment_line,
+                tokens=names,
+                justification=justification.strip() if sep else "",
+            )
+        )
+    return out

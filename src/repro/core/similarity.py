@@ -25,12 +25,12 @@ be re-activated globally with :func:`set_vectorized` for A/B timing.
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Final, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy.stats import wasserstein_distance
 
+from repro.analysis.registry import register_lock
 from repro.data.dataset import ArrayDataset
 from repro.models.vit import VisionTransformer
 from repro.nn.tensor import Tensor, no_grad
@@ -49,8 +49,10 @@ def set_vectorized(enabled: bool) -> None:
 # them instead of re-sampling.  The cache is shared across the executor's
 # worker threads — the lock keeps insertion atomic, and cached arrays are
 # frozen read-only so concurrent readers cannot corrupt them.
-_PROJECTION_CACHE: Dict[Tuple[int, int, int], np.ndarray] = {}
-_PROJECTION_CACHE_LOCK = threading.Lock()
+_PROJECTION_CACHE: Final[Dict[Tuple[int, int, int], np.ndarray]] = {}
+_PROJECTION_CACHE_LOCK = register_lock(
+    "similarity.projection-cache", module=__name__, attr="_PROJECTION_CACHE_LOCK"
+)
 _PROJECTION_CACHE_MAX = 64
 
 

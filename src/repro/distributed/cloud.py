@@ -21,12 +21,12 @@ replies are independent of the order concurrent requests arrive in.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.registry import register_lock
 from repro.core.distill import DistillConfig
 from repro.core.pareto import Candidate, ParetoFrontGrid, build_pfg, select_model
 from repro.core.segmentation import generate_backbone
@@ -87,7 +87,7 @@ class CloudServer:
         #: reads immutable state and handling is safe under concurrent
         #: edges.
         self._losses_ready = False
-        self._lock = threading.Lock()
+        self._lock = register_lock("cloud.state")
         #: Full-scale backbone weights captured when the loss grid is
         #: frozen — the immutable payload every ``BACKBONE_ASSIGNMENT``
         #: reply ships, so the request path never reads live parameters

@@ -36,13 +36,14 @@ semantics and the determinism contract.
 
 from __future__ import annotations
 
-import threading
 import zlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
+
+from repro.analysis.registry import register_lock
 
 
 class ProtocolError(RuntimeError):
@@ -200,7 +201,7 @@ class FaultPolicy:
     def __init__(self, config: Optional[FaultConfig] = None) -> None:
         self.config = config or FaultConfig()
         self._link_attempts: Dict[Tuple[str, str, str], int] = defaultdict(int)
-        self._lock = threading.Lock()
+        self._lock = register_lock("faults.policy")
 
     # -- delivery faults ------------------------------------------------
     def _drop_rate(self, kind: str, sender: str, receiver: str) -> float:

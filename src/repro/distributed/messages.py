@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import enum
 import itertools
-import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.analysis.registry import register_lock
 from repro.nn.serialization import json_nbytes
 
 
@@ -52,8 +52,11 @@ class MessageKind(enum.Enum):
 # dispatch, so two identical runs in one process see identical sequence
 # numbers.  Sequence numbers remain a debugging aid; ledger order is the
 # network's (merged) log.
+# reprolint: guarded -- drawn only through _next_sequence() under _SEQUENCE_LOCK
 _SEQUENCE = itertools.count()
-_SEQUENCE_LOCK = threading.Lock()
+_SEQUENCE_LOCK = register_lock(
+    "messages.sequence", module=__name__, attr="_SEQUENCE_LOCK"
+)
 
 
 def _next_sequence() -> int:

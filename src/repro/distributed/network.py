@@ -55,12 +55,12 @@ import contextlib
 import contextvars
 import itertools
 import re
-import threading
 import time
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.registry import register_lock
 from repro.distributed.faults import (
     DeliveryError,
     FaultPolicy,
@@ -319,8 +319,8 @@ class Network:
         #: per-kind message counts stay available as :attr:`kind_counts`.
         self.ledger = ledger
         self._handlers: Dict[str, Callable[[Message], Optional[Message]]] = {}
-        self._registry_lock = threading.Lock()
-        self._ledger_lock = threading.Lock()
+        self._registry_lock = register_lock("network.handler-registry")
+        self._ledger_lock = register_lock("network.ledger")
         self.stats = TrafficStats(collapse_pairs=ledger == "summary")
         self.log = self._new_log()
         #: Exact count of delivered (recorded) messages per kind, in both
@@ -336,7 +336,7 @@ class Network:
         self._delayed: List[List] = []
         self._draining = False
         self._sequence = itertools.count()
-        self._sequence_lock = threading.Lock()
+        self._sequence_lock = register_lock("network.sequence")
 
     def _new_log(self):
         """A mode-appropriate log container (list or bounded deque)."""

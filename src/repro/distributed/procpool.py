@@ -97,7 +97,7 @@ def fork_available() -> bool:
     """
     try:
         return "fork" in __import__("multiprocessing").get_all_start_methods()
-    except Exception:  # pragma: no cover - defensive
+    except (ImportError, AttributeError):  # pragma: no cover - stripped stdlib
         return False
 
 
@@ -108,18 +108,23 @@ def _reinit_locks_after_fork() -> None:
     The GIL guarantees the guarded structures themselves are consistent
     at any bytecode boundary; only lock *ownership* transfers into the
     child, where the owning thread no longer exists.  Fresh locks make
-    the child deadlock-free.  (Instance locks on network shards,
-    transports and serving fronts are not touched because worker tasks
-    never reach them — sends happen in the parent, in device order.)
-    """
-    from repro.core import similarity
-    from repro.distributed import messages
-    from repro.nn import init, optim
+    the child deadlock-free.
 
-    optim._REGISTRY_LOCK = threading.Lock()
-    init._STATE_LOCK = threading.Lock()
-    messages._SEQUENCE_LOCK = threading.Lock()
-    similarity._PROJECTION_CACHE_LOCK = threading.Lock()
+    The replacement set is **derived**, not hand-maintained: every
+    module-level engine lock is created through
+    :func:`repro.analysis.registry.register_lock`, and
+    :func:`~repro.analysis.registry.reinit_locks_after_fork` replays the
+    registry — a lock added anywhere in the tree is fork-safe without
+    touching this file, and reprolint's CONC rules flag any module-scope
+    lock that bypasses the registry.  (Instance locks on network shards,
+    transports and serving fronts are registered for lockwatch but not
+    re-inited, because worker tasks never reach them — sends happen in
+    the parent, in device order.)  Lockwatch itself is disarmed in the
+    child: its inherited held-lock snapshots describe parent threads.
+    """
+    from repro.analysis import registry
+
+    registry.reinit_locks_after_fork()
 
 
 class _ParamRecord:
@@ -273,6 +278,8 @@ def _encode_result(index: int, result) -> bytes:
 
     try:
         return _TAG_WIRE + wire.encode_value((index, result))
+    # reprolint: broad-except -- codec fallback boundary: any wire-codec rejection
+    # (unsupported type, nested container, size limit) downgrades to pickle
     except Exception:
         return _TAG_PICKLE + pickle.dumps((index, result))
 
@@ -281,6 +288,8 @@ def _encode_error(index: int, exc: BaseException) -> bytes:
     text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
     try:
         return _TAG_ERROR + pickle.dumps((index, exc, text))
+    # reprolint: broad-except -- unpicklable user exceptions must still reach the
+    # parent; the traceback text is the fallback payload
     except Exception:
         return _TAG_ERROR + pickle.dumps((index, None, text))
 
@@ -323,17 +332,39 @@ def _worker_main(
                 result = contextvars.copy_context().run(fn, items[index])
                 if arena is not None:
                     arena.writeback(index)
+            # reprolint: broad-except -- worker fault transport: every task
+            # failure (including KeyboardInterrupt/SystemExit) is shipped to the
+            # parent instead of killing the worker mid-batch
             except BaseException as exc:  # noqa: BLE001 - transported to parent
                 conn.send_bytes(_encode_error(index, exc))
                 continue
-            conn.send_bytes(_encode_result(index, result))
+            try:
+                payload = _encode_result(index, result)
+            # reprolint: broad-except -- untransportable-result boundary: if even
+            # the pickle fallback rejects the return value, report it as that
+            # task's failure instead of silently killing the worker's remaining
+            # stride (which surfaced as a misleading "worker died mid-task")
+            except Exception as exc:
+                conn.send_bytes(
+                    _encode_error(
+                        index,
+                        ExecutorError(
+                            f"task {index} returned a result that cannot be "
+                            f"shipped to the parent ({type(exc).__name__}: {exc}); "
+                            "return arrays/containers the wire codec or pickle "
+                            "can encode"
+                        ),
+                    )
+                )
+                continue
+            conn.send_bytes(payload)
         conn.send_bytes(_TAG_DONE)
-    except Exception:  # pragma: no cover - broken pipe means parent is gone
+    except (OSError, ValueError):  # pragma: no cover - pipe broken/closed: parent gone
         pass
     finally:
         try:
             conn.close()
-        except Exception:  # pragma: no cover - defensive
+        except OSError:  # pragma: no cover - already closed by the other end
             pass
         # Skip the parent's inherited atexit handlers / resource tracker:
         # the child owns nothing — the parent unlinks the arena.
@@ -468,7 +499,7 @@ def process_map(
         for conn in conns:
             try:
                 conn.close()
-            except Exception:  # pragma: no cover - defensive
+            except OSError:  # pragma: no cover - already closed by the worker
                 pass
         if arena is not None:
             arena.demote()

@@ -159,6 +159,8 @@ def _cloud_worker(config: ACMEConfig, tcfg: TransportConfig, conn) -> None:
                 break
     except EOFError:
         pass
+    # reprolint: broad-except -- worker-process boundary: any cloud-tier failure
+    # is reported over the pipe for the supervisor to reap; the process exits next
     except Exception:
         with contextlib.suppress(Exception):
             conn.send(("error", traceback.format_exc()))
@@ -209,6 +211,8 @@ def _edge_worker(
                 conn.send(("result", (result, _capture_ledger(transport.network))))
             finally:
                 transport.close()
+    # reprolint: broad-except -- worker-process boundary: any edge-tier failure
+    # is reported over the pipe for the supervisor to reap; the process exits next
     except Exception:
         with contextlib.suppress(Exception):
             conn.send(("error", traceback.format_exc()))

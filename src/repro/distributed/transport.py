@@ -66,6 +66,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.analysis.registry import register_lock
 from repro.distributed import wire
 from repro.distributed.faults import ProtocolError, TransportFailure
 from repro.distributed.messages import Message
@@ -257,6 +258,8 @@ class _Channel:
                 "error": None,
                 "error_type": None,
             }
+        # reprolint: broad-except -- RPC surface: handler failures of any type are
+        # shipped back to the sender as typed error frames, never swallowed
         except Exception as exc:  # surfaced to the sender, not swallowed
             response = {
                 "t": "resp",
@@ -397,7 +400,7 @@ class WireHub(_Endpoint):
         super().__init__(name, fabric, config)
         self._server: Optional[asyncio.base_events.Server] = None
         self.port: Optional[int] = None
-        self._route_lock = threading.Lock()
+        self._route_lock = register_lock("transport.routes")
         self._channels: Dict[str, _Channel] = {}
         self._routes: Dict[str, _Channel] = {}
 
@@ -416,6 +419,8 @@ class WireHub(_Endpoint):
             hello = await asyncio.wait_for(
                 channel.read_frame(), self.config.connect_timeout
             )
+        # reprolint: broad-except -- inbound-connection boundary: a bad hello
+        # (timeout, codec garbage, reset) drops that one connection, not the hub
         except Exception:
             await channel.close()
             return
@@ -501,7 +506,7 @@ class WireLink(_Endpoint):
         self._nodes_fn = nodes_fn if nodes_fn is not None else fabric.nodes
         self._remote_nodes: FrozenSet[str] = frozenset()
         self._channel: Optional[_Channel] = None
-        self._dial_lock = threading.Lock()
+        self._dial_lock = register_lock("transport.dial")
 
     def start(self) -> None:
         """Initial dial (with the same bounded retry as reconnects)."""
@@ -536,6 +541,8 @@ class WireLink(_Endpoint):
                 return self._channel
             except TransportFailure as exc:
                 last = exc
+            # reprolint: broad-except -- dial boundary: every connect failure mode
+            # (refused, timeout, DNS, loop teardown) becomes one TransportFailure
             except Exception as exc:
                 last = exc
         raise TransportFailure(

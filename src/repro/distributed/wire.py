@@ -102,8 +102,11 @@ _T_MESSAGE = b"M"
 # ---------------------------------------------------------------------------
 #: name -> (cls, to_state, from_state).  ``to_state`` maps the object to
 #: an encodable value; ``from_state`` rebuilds an equal object.
+# reprolint: guarded -- populated by _register_builtin_codecs at import; later
+# register_codec calls are a startup-time API, sequenced before any transport thread
 _CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
 #: Exact-type dispatch for encoding (no subclass surprises).
+# reprolint: guarded -- mutated only by register_codec, same startup-time sequencing
 _CODEC_BY_TYPE: Dict[type, str] = {}
 
 
@@ -449,6 +452,8 @@ def _decode(reader: _Reader) -> Any:
             return codec[2](state)
         except WireError:
             raise
+        # reprolint: broad-except -- decode boundary: any codec rejection of hostile
+        # or truncated wire state is re-raised as WireError with the codec named
         except Exception as exc:
             raise WireError(f"codec {name!r} rejected wire state: {exc}") from exc
     raise WireError(f"unknown wire tag {tag!r} at offset {reader.pos - 1}")

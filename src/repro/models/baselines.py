@@ -13,7 +13,7 @@ parameter counting from :class:`~repro.nn.layers.Module`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Final, Optional
 
 import numpy as np
 
@@ -210,7 +210,7 @@ class DecomposedViT(Module):
         return self.header(concatenate([cls, pooled], axis=1))
 
 
-BASELINE_BUILDERS = {
+BASELINE_BUILDERS: Final = {
     "efficient_vit": EfficientViTLike,
     "mobile_vit": MobileViTLike,
     "twins_svt": TwinsSVTLike,

@@ -10,7 +10,7 @@ emits class logits, so headers and backbones compose freely.
 from __future__ import annotations
 
 import math
-from typing import NamedTuple, Optional
+from typing import Final, NamedTuple, Optional
 
 import numpy as np
 
@@ -231,7 +231,7 @@ class HybridHeader(Header):
 
 #: The fixed header designs compared against NAS headers in Fig. 7(b):
 #: the paper evaluates four of Bakhtiarnia et al.'s designs.
-FIXED_HEADERS = {
+FIXED_HEADERS: Final = {
     "linear": LinearHeader,
     "mlp": MLPHeader,
     "pool": PoolHeader,

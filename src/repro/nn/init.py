@@ -28,7 +28,9 @@ import threading
 
 import numpy as np
 
-_STATE_LOCK = threading.Lock()
+from repro.analysis.registry import register_lock
+
+_STATE_LOCK = register_lock("nn.init.state", module=__name__, attr="_STATE_LOCK")
 _DEFAULT_SEED = 0
 #: Bumped by :func:`set_seed`; cached per-thread generators from an older
 #: epoch are discarded on next access.

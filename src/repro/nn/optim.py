@@ -36,18 +36,21 @@ allocated arrays.
 
 from __future__ import annotations
 
-import threading
 import weakref
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Final, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.registry import hotpath, register_lock
 from repro.nn.tensor import Tensor
 
 #: Live optimizers, notified when a module rebinds parameter storage
 #: (``Module.astype``) so fused flat groups never step stale memory.
-_LIVE_OPTIMIZERS: "weakref.WeakSet" = weakref.WeakSet()
-_REGISTRY_LOCK = threading.Lock()
+#: Mutated only under ``_REGISTRY_LOCK``; never rebound.
+_LIVE_OPTIMIZERS: Final["weakref.WeakSet"] = weakref.WeakSet()
+_REGISTRY_LOCK = register_lock(
+    "optim.live-registry", module=__name__, attr="_REGISTRY_LOCK"
+)
 
 #: Cache-block size (elements) for the fused flat-buffer sweeps.  A full
 #: fused step is ~14 ufunc passes over up to 6 arrays; on flat buffers
@@ -353,6 +356,7 @@ class SGD(Optimizer):
                         group.scratch_views[0][i],
                     )
 
+    @hotpath
     def _update(self, data, grad, velocity, scratch) -> None:
         """One in-place SGD update; exact reference operation order.
 
@@ -370,6 +374,7 @@ class SGD(Optimizer):
             return
         self._update_block(data, grad, velocity, scratch)
 
+    @hotpath
     def _update_block(self, data, grad, velocity, scratch) -> None:
         if self.weight_decay:
             np.multiply(data, self.weight_decay, out=scratch)
@@ -400,6 +405,7 @@ class SGD(Optimizer):
             p.data = p.data - self.lr * grad
 
 
+@hotpath
 def _adam_inplace_update(
     data, grad, m, v, s1, s2, lr, beta1, beta2, eps, weight_decay, bias1, bias2
 ) -> None:
@@ -431,6 +437,7 @@ def _adam_inplace_update(
     )
 
 
+@hotpath
 def _adam_block(
     data, grad, m, v, s1, s2, lr, beta1, beta2, eps, weight_decay, bias1, bias2
 ) -> None:

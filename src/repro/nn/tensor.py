@@ -43,14 +43,14 @@ propagate to its workers.
 from __future__ import annotations
 
 import contextvars
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Final, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 #: Supported compute dtypes, keyed by their canonical names.
-_SUPPORTED_DTYPES = {
+_SUPPORTED_DTYPES: Final = {
     "float32": np.float32,
     "float64": np.float64,
 }

@@ -31,9 +31,9 @@ def evaluate_model(
 ) -> dict:
     """Accuracy and mean loss of an end-to-end model."""
     loader = DataLoader(
-        # Deliberate fixed literal (not the set_seed fallback stream):
-        # shuffle=False never draws from it, and a pinned rng keeps the
-        # loader deterministic if that default ever changes.
+        # reprolint: fixed-rng -- shuffle=False never draws from this stream;
+        # the pinned rng keeps eval loaders deterministic even if the set_seed
+        # fallback default ever changes
         dataset, batch_size=batch_size, shuffle=False, rng=np.random.default_rng(0)
     )
     model.eval()
@@ -61,9 +61,9 @@ def evaluate_header(
 ) -> dict:
     """Accuracy and mean loss of a (backbone, header) pair."""
     loader = DataLoader(
-        # Deliberate fixed literal (not the set_seed fallback stream):
-        # shuffle=False never draws from it, and a pinned rng keeps the
-        # loader deterministic if that default ever changes.
+        # reprolint: fixed-rng -- shuffle=False never draws from this stream;
+        # the pinned rng keeps eval loaders deterministic even if the set_seed
+        # fallback default ever changes
         dataset, batch_size=batch_size, shuffle=False, rng=np.random.default_rng(0)
     )
     header.eval()

@@ -29,11 +29,11 @@ to the unbatched path via
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.registry import register_lock
 from repro.data.dataset import ArrayDataset, DataLoader
 from repro.models.headers import BackboneFeatures
 from repro.nn.layers import Module, has_active_stochastic_modules
@@ -214,9 +214,9 @@ def batched_evaluate_headers(
                 dataset,
                 batch_size=batch_size,
                 shuffle=False,
-                # Deliberate fixed literal (not the set_seed fallback stream):
-                # shuffle=False never draws from it, and a pinned rng keeps the
-                # loader deterministic if that default ever changes.
+                # reprolint: fixed-rng -- shuffle=False never draws from this
+                # stream; the pinned rng keeps eval loaders deterministic even if
+                # the set_seed fallback default ever changes
                 rng=np.random.default_rng(0),
             )
         )
@@ -290,7 +290,7 @@ class ServingFront:
         self.backbone = backbone
         self.micro_batch = int(micro_batch)
         self.batch_size = int(batch_size)
-        self._lock = threading.Lock()
+        self._lock = register_lock("serving.front")
         self._queue: List[Tuple[int, Module, ArrayDataset]] = []
         self._results: Dict[int, dict] = {}
         self._next_ticket = 0

@@ -14,6 +14,14 @@ layer's tests exercise sockets, heartbeats and child processes — the
 guard turns any regression that would hang (a lost wakeup, an unreaped
 child, a blocked read) into a clean failure naming the test.  Override
 the 600 s default with ``REPRO_TEST_TIMEOUT`` (seconds; ``0`` disables).
+
+With ``REPRO_LOCKWATCH=1`` the lock-order watchdog
+(:mod:`repro.analysis.lockwatch`) is armed for the heaviest concurrency
+modules: every registered engine lock is proxied, per-thread acquisition
+order is recorded, and an inconsistent lock ordering raises
+:class:`~repro.analysis.lockwatch.LockOrderError` naming both sites
+instead of deadlocking in CI.  Disarmed (the default), registered locks
+are plain ``threading.Lock`` objects — zero overhead.
 """
 
 import os
@@ -24,11 +32,36 @@ import pytest
 
 from tests.helpers import reset_engine_state
 
+#: Modules whose tests overlap engine locks across threads (cross-edge
+#: parallel phases, the TCP transport, the process-pool backend).
+_LOCKWATCH_MODULES = (
+    "test_cross_edge_parallel",
+    "test_transport",
+    "test_transport_chaos",
+    "test_transport_kill",
+    "test_process_backend",
+    "test_parallel_system",
+)
+
 
 @pytest.fixture(autouse=True)
 def _deterministic_engine_state():
     reset_engine_state()
     yield
+
+
+@pytest.fixture(autouse=True)
+def _lockwatch_guard(request):
+    if os.environ.get("REPRO_LOCKWATCH") != "1" or not any(
+        request.node.nodeid.startswith(f"tests/distributed/{mod}.py")
+        for mod in _LOCKWATCH_MODULES
+    ):
+        yield
+        return
+    from repro.analysis import lockwatch
+
+    with lockwatch.watching():
+        yield
 
 
 def _timeout_seconds() -> float:

@@ -190,6 +190,21 @@ class TestWorkerCrash:
             parallel_map(task, range(4), max_workers=2, backend="process")
 
     @needs_fork
+    def test_unencodable_result_names_the_task(self):
+        """A result that neither the wire codec nor pickle can ship must
+        surface as that task's error — not kill the worker's remaining
+        stride and masquerade as `worker died mid-task` (the pre-audit
+        behavior: the send sat outside the per-task try)."""
+
+        def task(i):
+            if i == 1:
+                return lambda: i  # unpicklable on purpose
+            return i * 10
+
+        with pytest.raises(ExecutorError, match=r"task 1 returned a result"):
+            parallel_map(task, range(4), max_workers=2, backend="process")
+
+    @needs_fork
     def test_crash_with_arena_still_unlinks_segments(self):
         params = [_make_params(seed=3)]
 
